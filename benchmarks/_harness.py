@@ -1,0 +1,56 @@
+"""Measurement helpers shared by the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables/figures: it runs
+the relevant compiled programs on the simulated machine, records the
+measured quantities (simulated time, messages, bytes, remaps, guards)
+into ``benchmark.extra_info``, prints the paper-style table, and asserts
+the *shape* — who wins and by roughly what factor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import DynOpt, Mode, Options, compile_program
+from repro.interp import run_sequential
+from repro.lang import parse
+from repro.machine import IPSC860
+
+
+def compile_and_measure(
+    src: str,
+    arr: str,
+    mode: Mode = Mode.INTER,
+    P: int = 4,
+    dynopt: DynOpt = DynOpt.KILLS,
+    init_fn=None,
+    reference=None,
+    timeout_s: float = 180.0,
+    **optkw,
+):
+    """Compile + run + verify; returns (CompiledProgram, RunStats)."""
+    opts = Options(nprocs=P, mode=mode, dynopt=dynopt, **optkw)
+    cp = compile_program(src, opts)
+    res = cp.run(cost=IPSC860, init_fn=init_fn, timeout_s=timeout_s)
+    if reference is None:
+        ref_frame = (
+            run_sequential(parse(src), init_fn=init_fn)
+            if init_fn else run_sequential(parse(src))
+        )
+        reference = ref_frame.arrays[arr].data
+    assert np.allclose(res.gathered(arr), reference), \
+        f"{mode} produced wrong results"
+    return cp, res
+
+
+def stats_row(label: str, s, extra: str = "") -> str:
+    return (
+        f"{label:<26} {s.time_ms:>10.3f} {s.messages:>7} "
+        f"{s.collectives:>6} {s.total_bytes:>10} {s.guards:>8} {extra}"
+    )
+
+
+STATS_HEADER = (
+    f"{'version':<26} {'time(ms)':>10} {'msgs':>7} {'colls':>6} "
+    f"{'bytes':>10} {'guards':>8}"
+)

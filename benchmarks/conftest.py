@@ -1,0 +1,27 @@
+"""Benchmark fixtures (see _harness.py for measurement helpers)."""
+
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def paper_table():
+    """Collects printed rows so each bench emits a readable table."""
+    printed: set[str] = set()
+
+    def emit(title: str, header: str, rows: list[str]) -> None:
+        if title in printed:
+            return
+        printed.add(title)
+        print()
+        print("=" * 74)
+        print(title)
+        print("=" * 74)
+        print(header)
+        print("-" * len(header))
+        for r in rows:
+            print(r)
+
+    return emit

@@ -1,0 +1,70 @@
+"""Compiler throughput: wall-clock time to compile each workload.
+
+Unlike the simulation benches (which measure *simulated* execution),
+these measure the compiler itself — the single-pass-per-procedure claim
+should keep compilation fast and roughly linear in program size.
+"""
+
+import pytest
+
+from repro.apps import (
+    FIG4,
+    adi_source,
+    cg_source,
+    dgefa_pivot_source,
+    dgefa_source,
+    stencil2d_source,
+)
+from repro.core import Mode, Options, compile_program
+
+CASES = [
+    ("fig4", FIG4),
+    ("stencil2d", stencil2d_source(64, 4)),
+    ("adi", adi_source(64, 4)),
+    ("dgefa", dgefa_source(64)),
+    ("dgefa_pivot", dgefa_pivot_source(64)),
+    ("cg", cg_source(256, 20)),
+]
+
+
+@pytest.mark.parametrize("name,src", CASES, ids=[c[0] for c in CASES])
+def test_bench_compile_speed(benchmark, name, src):
+    result = benchmark(lambda: compile_program(src, Options(nprocs=8)))
+    assert result.program.units  # produced something
+    # single pass per procedure: even the largest workload compiles fast
+    assert benchmark.stats["mean"] < 2.0
+
+
+def test_bench_compile_scales_with_procedures(benchmark, paper_table):
+    """Compilation time grows roughly linearly with procedure count."""
+    import time
+
+    def chain(k):
+        units = [
+            "program p\nreal x(64)\ndistribute x(block)\ncall s0(x)\nend\n"
+        ]
+        for i in range(k):
+            callee = f"call s{i + 1}(x)\n" if i + 1 < k else ""
+            units.append(
+                f"subroutine s{i}(x)\nreal x(64)\n"
+                f"do i = 1, 63\nx(i) = f(x(i + 1))\nenddo\n{callee}end\n"
+            )
+        return "\n".join(units)
+
+    timings = {}
+    for k in (4, 8, 16, 32):
+        src = chain(k)
+        t0 = time.perf_counter()
+        compile_program(src, Options(nprocs=4))
+        timings[k] = time.perf_counter() - t0
+
+    benchmark.pedantic(
+        lambda: compile_program(chain(16), Options(nprocs=4)),
+        rounds=3, iterations=1,
+    )
+    rows = [f"procedures={k:<4} compile={t * 1000:8.1f} ms"
+            for k, t in timings.items()]
+    paper_table("Compiler throughput vs call-chain length",
+                "chain size / time", rows)
+    # superlinear blowup guard: 8x procedures < 40x time
+    assert timings[32] < 40 * max(timings[4], 1e-3)

@@ -1,0 +1,135 @@
+"""Experiment [§9, reconstructed]: the dgefa case study.
+
+"Empirical results show that interprocedural optimization is crucial in
+achieving acceptable performance for a common application."
+
+We compile LINPACK's dgefa (column-cyclic) under the three strategies
+and compare against hand-written SPMD node code, sweeping matrix size
+and processor count.  Expected shape (the paper's qualitative result):
+
+* interprocedural ~ hand-coded (within a small factor);
+* intraprocedural several-x slower (per-call messages, no cross-call
+  vectorization);
+* run-time resolution an order of magnitude (or more) slower.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    dgefa_reference_lu,
+    dgefa_source,
+    handcoded_dgefa_spmd,
+    make_dgefa_init,
+)
+from repro.core import Mode
+from repro.machine import IPSC860, Machine
+
+from _harness import compile_and_measure
+
+SIZES = [16, 32]
+PROCS = [2, 4]
+
+
+def reference(n):
+    init = make_dgefa_init(n)
+    a = np.empty((n, n))
+    for i in range(n):
+        for j in range(n):
+            a[i, j] = init("a", (i + 1, j + 1))
+    return init, dgefa_reference_lu(a)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    """All (n, P, version) measurements."""
+    table = {}
+    for n in SIZES:
+        init, ref = reference(n)
+        for P in PROCS:
+            for mode in (Mode.INTER, Mode.INTRA, Mode.RTR):
+                _cp, res = compile_and_measure(
+                    dgefa_source(n), "a", mode=mode, P=P,
+                    init_fn=init, reference=ref,
+                )
+                table[(n, P, mode.value)] = res.stats
+            m = Machine(P, IPSC860)
+            m.run(lambda ctx: handcoded_dgefa_spmd(ctx, n, init))
+            m.stats.record_proc_time(0, m.stats.proc_times.get(0, 0.0))
+            table[(n, P, "hand")] = m.stats
+    return table
+
+
+@pytest.mark.parametrize("mode", ["inter", "intra", "rtr", "hand"])
+def test_bench_dgefa_versions(benchmark, sweep, paper_table, mode):
+    n, P = 16, 4
+    init, ref = reference(n)
+
+    if mode == "hand":
+        def run():
+            m = Machine(P, IPSC860)
+            m.run(lambda ctx: handcoded_dgefa_spmd(ctx, n, init))
+            return m.stats
+    else:
+        mode_enum = {m.value: m for m in Mode}[mode]
+
+        def run():
+            return compile_and_measure(
+                dgefa_source(n), "a", mode=mode_enum, P=P,
+                init_fn=init, reference=ref,
+            )[1]
+
+    benchmark.pedantic(run, rounds=2, iterations=1)
+    s = sweep[(n, P, mode)]
+    benchmark.extra_info.update(
+        sim_time_ms=s.time_ms,
+        messages=s.messages,
+        collectives=s.collectives,
+    )
+    header = (f"{'n':>4} {'P':>3} {'version':<8} {'time(ms)':>10} "
+              f"{'msgs':>7} {'colls':>6} {'bytes':>10} {'guards':>9}")
+    rows = []
+    for (nn, pp, ver), st in sorted(sweep.items()):
+        rows.append(
+            f"{nn:>4} {pp:>3} {ver:<8} {st.time_ms:>10.3f} "
+            f"{st.messages:>7} {st.collectives:>6} {st.total_bytes:>10} "
+            f"{st.guards:>9}"
+        )
+    paper_table("dgefa case study (§9): simulated iPSC/860", header, rows)
+
+
+class TestShape:
+    def test_ordering_everywhere(self, sweep):
+        for n in SIZES:
+            for P in PROCS:
+                t = {v: sweep[(n, P, v)].time_us
+                     for v in ("inter", "intra", "rtr", "hand")}
+                assert t["inter"] < t["intra"] < t["rtr"], (n, P)
+
+    def test_rtr_order_of_magnitude(self, sweep):
+        for n in SIZES:
+            for P in PROCS:
+                assert sweep[(n, P, "rtr")].time_us > \
+                    8 * sweep[(n, P, "inter")].time_us, (n, P)
+
+    def test_inter_close_to_handcoded(self, sweep):
+        for n in SIZES:
+            for P in PROCS:
+                inter = sweep[(n, P, "inter")]
+                hand = sweep[(n, P, "hand")]
+                assert inter.collectives == hand.collectives, (n, P)
+                assert inter.time_us <= 3.0 * hand.time_us, (n, P)
+
+    def test_one_broadcast_per_step(self, sweep):
+        for n in SIZES:
+            for P in PROCS:
+                assert sweep[(n, P, "inter")].collectives == n - 1
+
+    def test_message_growth_with_n(self, sweep):
+        """RTR message counts grow ~n^2; INTER stays at n-1
+        collectives."""
+        for P in PROCS:
+            r16 = sweep[(16, P, "rtr")].messages
+            r32 = sweep[(32, P, "rtr")].messages
+            assert r32 > 3 * r16
+            assert sweep[(32, P, "inter")].messages == 0

@@ -1,0 +1,95 @@
+"""Experiment [Fig. 10 vs Fig. 12]: delayed vs immediate instantiation
+on the Figure 4 program.
+
+The paper: immediate instantiation "would result in a hundred messages
+for X[26:30,i], one for each invocation of F1$row, rather than a single
+message for X[26:30,1:100] in P1", plus explicit guards in F1$col
+instead of reducing the j loop's bounds.
+
+Regenerated: message counts (expect exactly 100:1 per neighbour pair),
+identical byte volume, guard-evaluation counts, simulated time.
+"""
+
+import pytest
+
+from repro.apps import FIG4
+from repro.core import Mode
+from repro.lang import ast as A
+
+from _harness import STATS_HEADER, compile_and_measure, stats_row
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    out = {}
+    for mode in (Mode.INTER, Mode.INTRA):
+        cp, res = compile_and_measure(FIG4, "x", mode=mode)
+        out[mode] = (cp, res.stats)
+    return out
+
+
+def test_bench_fig10_interprocedural(benchmark, measurements, paper_table):
+    def run():
+        return compile_and_measure(FIG4, "x", mode=Mode.INTER)[1]
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    inter = measurements[Mode.INTER][1]
+    intra = measurements[Mode.INTRA][1]
+    benchmark.extra_info.update(
+        sim_time_ms=inter.time_ms, messages=inter.messages
+    )
+    paper_table(
+        "Figure 10 vs Figure 12: delayed vs immediate instantiation "
+        "(Figure 4 program, P=4)",
+        STATS_HEADER,
+        [
+            stats_row("delayed (Fig. 10)", inter),
+            stats_row("immediate (Fig. 12)", intra),
+        ],
+    )
+    # the paper's 100:1 claim, exactly:
+    assert inter.messages == 3
+    assert intra.messages == 300
+    assert intra.bytes == inter.bytes
+
+
+def test_bench_fig12_immediate(benchmark, measurements):
+    def run():
+        return compile_and_measure(FIG4, "x", mode=Mode.INTRA)[1]
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    s = measurements[Mode.INTRA][1]
+    benchmark.extra_info.update(sim_time_ms=s.time_ms, messages=s.messages)
+    assert s.messages == 100 * measurements[Mode.INTER][1].messages
+
+
+class TestShape:
+    def test_cloning_happened(self, measurements):
+        cp = measurements[Mode.INTER][0]
+        assert cp.report.cloned == {"f1": ["f1$1"], "f2": ["f2$1"]}
+
+    def test_vectorized_message_shape(self, measurements):
+        cp = measurements[Mode.INTER][0]
+        main = cp.program.main
+        sends = [s for s in A.walk_stmts(main.body) if isinstance(s, A.Send)]
+        assert len(sends) == 1  # X[strip, 1:100] once, before the loops
+
+    def test_immediate_sends_inside_callee(self, measurements):
+        cp = measurements[Mode.INTRA][0]
+        row_clone = next(
+            u for u in cp.program.units
+            if u.name.startswith("f2") and any(
+                isinstance(s, (A.Send, A.Recv)) for s in A.walk_stmts(u.body)
+            )
+        )
+        assert row_clone is not None
+
+    def test_guard_cost_of_immediate(self, measurements):
+        inter = measurements[Mode.INTER][1]
+        intra = measurements[Mode.INTRA][1]
+        assert intra.guards > 10 * max(inter.guards, 1)
+
+    def test_time_advantage(self, measurements):
+        inter = measurements[Mode.INTER][1]
+        intra = measurements[Mode.INTRA][1]
+        assert intra.time_us > 1.5 * inter.time_us

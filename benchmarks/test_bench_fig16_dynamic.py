@@ -1,0 +1,79 @@
+"""Experiment [Fig. 16 a-d]: the dynamic data decomposition optimization
+ladder on the Figure 15 program (T = 10 iterations).
+
+Expected counts for the four levels:
+
+* 16a  no optimization          — 4 remaps per iteration  (40 executed)
+* 16b  live decompositions      — 2 per iteration         (20 executed)
+* 16c  + loop-invariant hoist   — 2 total                 ( 2 executed)
+* 16d  + array kills            — 1 physical + 1 marking  ( 1 executed)
+
+Simulated time decreases monotonically down the ladder.
+"""
+
+import pytest
+
+from repro.apps import FIG15
+from repro.core import DynOpt, Mode
+
+from _harness import compile_and_measure
+
+LEVELS = [
+    (DynOpt.NONE, "16a no optimization", 40),
+    (DynOpt.LIVE, "16b live decompositions", 20),
+    (DynOpt.HOIST, "16c loop-invariant hoist", 2),
+    (DynOpt.KILLS, "16d array kills", 1),
+]
+
+
+@pytest.fixture(scope="module")
+def ladder():
+    out = {}
+    for dyn, label, expect in LEVELS:
+        cp, res = compile_and_measure(FIG15, "x", dynopt=dyn)
+        out[dyn] = (label, expect, cp, res.stats)
+    return out
+
+
+@pytest.mark.parametrize("dyn,label,expect", LEVELS,
+                         ids=[l[1].split()[0] for l in LEVELS])
+def test_bench_fig16_level(benchmark, ladder, paper_table, dyn, label,
+                           expect):
+    def run():
+        return compile_and_measure(FIG15, "x", dynopt=dyn)[1]
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    _label, _expect, cp, s = ladder[dyn]
+    assert s.remaps == expect, f"{label}: {s.remaps} remaps"
+    benchmark.extra_info.update(
+        remaps=s.remaps, remap_bytes=s.remap_bytes, sim_time_ms=s.time_ms
+    )
+    header = (f"{'level':<28} {'remaps':>7} {'bytes moved':>12} "
+              f"{'time(ms)':>10}")
+    rows = [
+        f"{lab:<28} {st.remaps:>7} {st.remap_bytes:>12} {st.time_ms:>10.3f}"
+        for d, (lab, _e, _c, st) in ladder.items()
+    ]
+    paper_table(
+        "Figure 16: dynamic data decomposition optimizations "
+        "(Figure 15 program, T=10, P=4)",
+        header, rows,
+    )
+
+
+class TestShape:
+    def test_monotone_times(self, ladder):
+        times = [st.time_us for _d, (_l, _e, _c, st) in ladder.items()]
+        assert times[0] > times[1] > times[2] >= times[3]
+
+    def test_16d_marks_instead_of_moving(self, ladder):
+        _l, _e, cp, s = ladder[DynOpt.KILLS]
+        assert cp.report.remaps_marked == 1
+        # the marking moves no bytes: 16d moves half of 16c's volume
+        _l3, _e3, _c3, s3 = ladder[DynOpt.HOIST]
+        assert s.remap_bytes == s3.remap_bytes // 2
+
+    def test_static_counts_reported(self, ladder):
+        _l, _e, cp, _s = ladder[DynOpt.KILLS]
+        assert cp.report.remaps_eliminated == 2
+        assert cp.report.remaps_hoisted == 2

@@ -1,0 +1,82 @@
+"""Experiment [Fig. 2 vs Fig. 3]: compile-time code vs run-time
+resolution on the Figure 1 program.
+
+The paper: "run-time resolution produces code that is much slower than
+the equivalent compile-time generated code.  Not only does the program
+have to explicitly check every variable reference, it generates a
+message for each nonlocal access."
+
+Regenerated quantities: simulated time, message count, bytes, guard
+evaluations for both versions; expected shape: compile-time wins by
+several x in time, ~5x fewer messages per shift point, and orders of
+magnitude fewer ownership guards.
+"""
+
+import pytest
+
+from repro.apps import FIG1
+from repro.core import Mode
+
+from _harness import STATS_HEADER, compile_and_measure, stats_row
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    out = {}
+    for mode in (Mode.INTER, Mode.RTR):
+        _cp, res = compile_and_measure(FIG1, "x", mode=mode)
+        out[mode] = res.stats
+    return out
+
+
+def test_bench_fig2_compile_time(benchmark, measurements, paper_table):
+    _cp, res = compile_and_measure(FIG1, "x", mode=Mode.INTER)
+
+    def run():
+        return compile_and_measure(FIG1, "x", mode=Mode.INTER)[1]
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    s = measurements[Mode.INTER]
+    benchmark.extra_info.update(
+        sim_time_ms=s.time_ms, messages=s.messages, guards=s.guards
+    )
+    paper_table(
+        "Figure 2 vs Figure 3: compile-time vs run-time resolution "
+        "(Figure 1 program, P=4)",
+        STATS_HEADER,
+        [
+            stats_row("compile-time (Fig. 2)", measurements[Mode.INTER]),
+            stats_row("run-time res. (Fig. 3)", measurements[Mode.RTR]),
+        ],
+    )
+
+
+def test_bench_fig3_runtime_resolution(benchmark, measurements):
+    def run():
+        return compile_and_measure(FIG1, "x", mode=Mode.RTR)[1]
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    s = measurements[Mode.RTR]
+    benchmark.extra_info.update(
+        sim_time_ms=s.time_ms, messages=s.messages, guards=s.guards
+    )
+
+
+class TestShape:
+    def test_rtr_much_slower(self, measurements):
+        assert measurements[Mode.RTR].time_us > \
+            3 * measurements[Mode.INTER].time_us
+
+    def test_rtr_message_per_nonlocal_access(self, measurements):
+        # 5 boundary elements x 3 neighbour pairs x 2 loops = 30 element
+        # messages vs 6 vectorized ones
+        assert measurements[Mode.RTR].messages == 30
+        assert measurements[Mode.INTER].messages == 6
+
+    def test_rtr_checks_every_reference(self, measurements):
+        # two guarded loops of 95 iterations on 4 processors
+        assert measurements[Mode.RTR].guards >= 2 * 95 * 4
+        assert measurements[Mode.INTER].guards <= 6 * 4
+
+    def test_same_data_volume(self, measurements):
+        assert measurements[Mode.RTR].bytes == measurements[Mode.INTER].bytes

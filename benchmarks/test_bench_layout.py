@@ -1,0 +1,85 @@
+"""Experiment [layout, extension]: column-BLOCK vs column-CYCLIC for
+dgefa.
+
+A well-known result of the Fortran D / LINPACK literature: LU
+elimination shrinks the active matrix from the left, so a block column
+layout starves low-numbered processors while cyclic columns keep the
+trailing-matrix work spread evenly.  The language makes the experiment a
+one-token change (``distribute a(:, block)`` vs ``(:, cyclic)``); the
+simulator's per-processor work counters expose the imbalance directly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import dgefa_reference_lu, dgefa_source, make_dgefa_init
+from repro.core import Mode, Options, compile_program
+from repro.machine import IPSC860
+
+
+def run_layout(layout: str, n: int, P: int):
+    init = make_dgefa_init(n)
+    ref = np.empty((n, n))
+    for i in range(n):
+        for j in range(n):
+            ref[i, j] = init("a", (i + 1, j + 1))
+    ref = dgefa_reference_lu(ref)
+    src = dgefa_source(n).replace(
+        "distribute a(:, cyclic)", f"distribute a(:, {layout})"
+    )
+    cp = compile_program(src, Options(nprocs=P, mode=Mode.INTER))
+    res = cp.run(cost=IPSC860, init_fn=init, timeout_s=180)
+    assert np.allclose(res.gathered("a"), ref), layout
+    return res.stats
+
+
+@pytest.fixture(scope="module")
+def layouts():
+    return {
+        (layout, P): run_layout(layout, 32, P)
+        for layout in ("cyclic", "block")
+        for P in (2, 4)
+    }
+
+
+def test_bench_dgefa_layouts(benchmark, layouts, paper_table):
+    def rerun():
+        return run_layout("cyclic", 32, 4)
+
+    benchmark.pedantic(rerun, rounds=2, iterations=1)
+    rows = []
+    for (layout, P), s in sorted(layouts.items()):
+        rows.append(
+            f"(:, {layout:<6}) P={P}  time={s.time_ms:>8.3f}ms  "
+            f"load imbalance={s.load_imbalance:>5.2f}  "
+            f"colls={s.collectives}"
+        )
+    paper_table(
+        "dgefa column layout: block vs cyclic (n=32)",
+        "layout            measurements",
+        rows,
+    )
+    benchmark.extra_info["imbalance_cyclic"] = layouts[("cyclic", 4)].load_imbalance
+    benchmark.extra_info["imbalance_block"] = layouts[("block", 4)].load_imbalance
+
+
+class TestShape:
+    def test_cyclic_balances_work(self, layouts):
+        for P in (2, 4):
+            assert layouts[("cyclic", P)].load_imbalance < 1.15, P
+
+    def test_block_imbalances_work(self, layouts):
+        for P in (2, 4):
+            assert layouts[("block", P)].load_imbalance > \
+                layouts[("cyclic", P)].load_imbalance + 0.1, P
+
+    def test_cyclic_no_slower(self, layouts):
+        for P in (2, 4):
+            assert layouts[("cyclic", P)].time_us <= \
+                1.05 * layouts[("block", P)].time_us, P
+
+    def test_same_collective_count(self, layouts):
+        # the communication pattern (one pivot broadcast per step) is
+        # layout independent
+        counts = {s.collectives for s in layouts.values()}
+        assert counts == {31}

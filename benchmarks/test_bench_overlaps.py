@@ -1,0 +1,104 @@
+"""Experiment [Fig. 13/14]: interprocedural overlap calculation.
+
+Figure 13's estimation algorithm records constant subscript offsets
+locally, propagates them through call sites, and broadcasts the maximal
+estimates down the call graph; code generation then validates the
+estimate against the overlaps the emitted communication actually needs.
+Figure 14 shows the parameterized-overlap alternative (array bounds
+passed as run-time arguments).
+
+Regenerated: the Z(k+5, i) offset propagating to X and Y in the Figure 4
+program, estimate-vs-actual validation across all example programs, and
+the Figure 2 / Figure 14 local declarations.
+"""
+
+import pytest
+
+from repro.apps import FIG1, FIG4, stencil1d_source, stencil2d_source
+from repro.callgraph.acg import ACG
+from repro.core import Mode, Options, compile_program
+from repro.core.localize import localized_procedure_text
+from repro.core.overlaps import estimate_overlaps, validate_overlaps
+from repro.dist import Distribution
+from repro.lang import parse
+from repro.lang.ast import DistSpec
+
+from _harness import compile_and_measure
+
+PROGRAMS = [
+    ("fig1", FIG1, "x"),
+    ("fig4", FIG4, "x"),
+    ("stencil1d", stencil1d_source(64, 2), "x"),
+    ("stencil2d", stencil2d_source(24, 2), "a"),
+]
+
+
+def test_bench_overlap_estimation(benchmark, paper_table):
+    def estimate_all():
+        out = {}
+        for name, src, _arr in PROGRAMS:
+            acg = ACG(parse(src))
+            est = estimate_overlaps(acg)
+            cp = compile_program(src, Options(nprocs=4))
+            v = validate_overlaps(est, cp.report.overlaps)
+            out[name] = (est, cp.report.overlaps, v)
+        return out
+
+    results = benchmark.pedantic(estimate_all, rounds=2, iterations=1)
+    rows = []
+    for name, (est, actual, v) in results.items():
+        assert v.sufficient, f"{name}: estimate under-sized"
+        for (proc, arr), offs in sorted(actual.items()):
+            e = est.per_proc.get((proc, arr))
+            rows.append(
+                f"{name:<10} {proc:<10} {arr:<4} "
+                f"estimate={e!s:<22} actual={offs!s:<18} ok"
+            )
+    paper_table(
+        "Figure 13: overlap estimates vs overlaps required by generated "
+        "communication",
+        f"{'program':<10} {'proc':<10} {'arr':<4} details",
+        rows,
+    )
+    benchmark.extra_info["programs"] = len(results)
+
+
+def test_bench_fig14_parameterized_overlaps(benchmark, paper_table):
+    """Figure 14: REAL X(Xlo:Xhi) with bounds as extra formals."""
+
+    def build():
+        cp = compile_program(FIG1, Options(nprocs=4))
+        f1 = cp.program.unit("f1")
+        dist = Distribution.from_specs([DistSpec("block")], [(1, 100)], 4)
+        plain = localized_procedure_text(
+            f1, {"x": dist}, {"x": [(0, 5)]}, parameterized=False
+        )
+        param = localized_procedure_text(
+            f1, {"x": dist}, {"x": [(0, 5)]}, parameterized=True
+        )
+        return plain, param
+
+    plain, param = benchmark.pedantic(build, rounds=2, iterations=1)
+    assert "real x(30)" in plain              # Figure 2 layout
+    assert "real x(xlo:xhi)" in param         # Figure 14 layout
+    assert "subroutine f1(x, xlo, xhi)" in param
+    paper_table(
+        "Figure 14: parameterized overlaps (localized node code)",
+        "two presentations of the same node procedure",
+        ["--- static overlap (Figure 2) ---"]
+        + plain.splitlines()[:3]
+        + ["--- parameterized (Figure 14) ---"]
+        + param.splitlines()[:3],
+    )
+
+
+class TestShape:
+    def test_fig4_offsets_propagate(self):
+        est = estimate_overlaps(ACG(parse(FIG4)))
+        assert est.per_proc[("p1", "x")] == [(0, 5), (0, 0)]
+        assert est.per_proc[("p1", "y")] == [(0, 5), (0, 0)]
+        assert est.per_proc[("f2", "z")] == [(0, 5), (0, 0)]
+
+    def test_stencil_overlaps_symmetric(self):
+        est = estimate_overlaps(ACG(parse(stencil1d_source(64, 2))))
+        assert est.per_proc[("smooth", "x")] == [(-1, 1)]

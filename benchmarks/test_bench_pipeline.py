@@ -1,0 +1,89 @@
+"""Experiment [pipelining, extension]: carried-dependence recurrences.
+
+``x(i) = f(x(i-d))`` carries a true dependence, so the Figure 2 style
+vectorized prefetch is illegal.  The compiler pipelines at block
+granularity instead: each processor receives its left neighbour's
+finished boundary strip, computes its whole block, and forwards its own
+boundary — a wavefront.  The bench compares against run-time resolution
+(the only safe alternative) and against the dependence-free forward
+shift (the parallelism ceiling).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Mode, Options, compile_program
+from repro.interp import run_sequential
+from repro.lang import parse
+from repro.machine import IPSC860
+
+N, D, P = 128, 8, 4
+
+BACKWARD = (
+    f"program p\nreal x({N})\ndistribute x(block)\ncall g1(x)\nend\n"
+    f"subroutine g1(x)\nreal x({N})\n"
+    f"do i = {D + 1}, {N}\nx(i) = f(x(i - {D}))\nenddo\nend\n"
+)
+FORWARD = (
+    f"program p\nreal x({N})\ndistribute x(block)\ncall g1(x)\nend\n"
+    f"subroutine g1(x)\nreal x({N})\n"
+    f"do i = 1, {N - D}\nx(i) = f(x(i + {D}))\nenddo\nend\n"
+)
+
+
+def run(src, mode):
+    seq = run_sequential(parse(src)).arrays["x"].data
+    cp = compile_program(src, Options(nprocs=P, mode=mode))
+    res = cp.run(cost=IPSC860, timeout_s=180)
+    assert np.allclose(res.gathered("x"), seq)
+    return cp, res.stats
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    return {
+        "pipeline": run(BACKWARD, Mode.INTER)[1],
+        "rtr": run(BACKWARD, Mode.RTR)[1],
+        "forward": run(FORWARD, Mode.INTER)[1],
+    }
+
+
+def test_bench_pipeline(benchmark, measurements, paper_table):
+    def rerun():
+        return run(BACKWARD, Mode.INTER)[1]
+
+    benchmark.pedantic(rerun, rounds=2, iterations=1)
+    rows = [
+        f"{label:<22} time={s.time_ms:>8.3f}ms msgs={s.messages:>5} "
+        f"guards={s.guards:>6}"
+        for label, s in measurements.items()
+    ]
+    paper_table(
+        f"Carried-dependence recurrence x(i)=f(x(i-{D})), n={N}, P={P}",
+        "version                measurements",
+        rows,
+    )
+    s = measurements["pipeline"]
+    benchmark.extra_info.update(
+        sim_time_ms=s.time_ms, messages=s.messages
+    )
+    assert s.messages == P - 1
+
+
+class TestShape:
+    def test_pipeline_beats_rtr(self, measurements):
+        assert measurements["pipeline"].time_us < \
+            measurements["rtr"].time_us / 2
+
+    def test_rtr_message_explosion(self, measurements):
+        assert measurements["rtr"].messages > 5 * measurements[
+            "pipeline"].messages
+
+    def test_wavefront_pays_serialization(self, measurements):
+        # the forward (dependence-free) shift is the parallel ceiling
+        assert measurements["forward"].time_us < \
+            measurements["pipeline"].time_us
+
+    def test_same_bytes_as_forward(self, measurements):
+        assert measurements["pipeline"].bytes == \
+            measurements["forward"].bytes

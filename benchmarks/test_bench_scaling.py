@@ -1,0 +1,113 @@
+"""Experiment [scaling, extension]: speedup curves on the simulated
+machine.
+
+The evaluation style of the era: fix the problem, sweep processors,
+report speedup over the one-processor run.  The honest small-problem
+finding matches period experience with high-latency machines:
+
+* the 1-D stencil speeds up but saturates (per-step message startup
+  does not shrink with P);
+* dgefa at n=64 barely scales on the iPSC/860-like network — the
+  per-step pivot broadcast (~2 log P message startups) swamps the
+  O(n^2/P) update — while the same compiled program on a 10x-faster
+  network reaches ~5x at P=8.  Scaling LU on such machines needs the
+  large n of the LINPACK runs, which an interpreted simulation cannot
+  afford; the *crossover with network speed* is the reproducible shape.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    dgefa_reference_lu,
+    dgefa_source,
+    make_dgefa_init,
+    stencil1d_source,
+)
+from repro.core import Mode, Options, compile_program
+from repro.interp import run_sequential
+from repro.lang import parse
+from repro.machine import FAST_NETWORK, IPSC860
+
+PROCS = [1, 2, 4, 8]
+
+
+def time_of(src, arr, P, cost, init_fn=None, reference=None):
+    cp = compile_program(src, Options(nprocs=P, mode=Mode.INTER))
+    res = cp.run(cost=cost, init_fn=init_fn, timeout_s=180)
+    if reference is not None:
+        assert np.allclose(res.gathered(arr), reference)
+    return res.stats.time_us
+
+
+@pytest.fixture(scope="module")
+def curves():
+    out = {}
+    sten = stencil1d_source(512, 4)
+    ref = run_sequential(parse(sten)).arrays["x"].data
+    out["stencil/ipsc"] = {
+        P: time_of(sten, "x", P, IPSC860, reference=ref) for P in PROCS
+    }
+    n = 64
+    init = make_dgefa_init(n)
+    refa = np.empty((n, n))
+    for i in range(n):
+        for j in range(n):
+            refa[i, j] = init("a", (i + 1, j + 1))
+    refa = dgefa_reference_lu(refa)
+    for label, cost in (("ipsc", IPSC860), ("fast", FAST_NETWORK)):
+        out[f"dgefa/{label}"] = {
+            P: time_of(dgefa_source(n), "a", P, cost,
+                       init_fn=init, reference=refa)
+            for P in PROCS
+        }
+    return out
+
+
+def test_bench_scaling(benchmark, curves, paper_table):
+    def rerun():
+        return time_of(stencil1d_source(512, 4), "x", 4, IPSC860)
+
+    benchmark.pedantic(rerun, rounds=2, iterations=1)
+    rows = []
+    for name, curve in curves.items():
+        base = curve[1]
+        speedups = " ".join(
+            f"P={P}:{base / t:5.2f}x" for P, t in sorted(curve.items())
+        )
+        rows.append(f"{name:<14} {speedups}")
+    paper_table(
+        "Speedup curves (relative to P=1), n=64 dgefa / n=512 stencil",
+        "workload       speedup",
+        rows,
+    )
+    for name, curve in curves.items():
+        benchmark.extra_info[name.replace("/", "_")] = {
+            str(P): round(curve[1] / t, 2) for P, t in curve.items()
+        }
+
+
+class TestShape:
+    def test_stencil_speeds_up(self, curves):
+        c = curves["stencil/ipsc"]
+        assert c[2] < c[1] and c[4] < c[2]
+
+    def test_stencil_saturates(self, curves):
+        c = curves["stencil/ipsc"]
+        assert c[1] / c[8] < 6.0  # clearly sub-linear
+
+    def test_dgefa_latency_bound_on_ipsc(self, curves):
+        """Small-matrix LU on the high-latency network: broadcast
+        startup swallows the parallelism."""
+        c = curves["dgefa/ipsc"]
+        assert c[1] / c[8] < 2.5
+
+    def test_dgefa_scales_on_fast_network(self, curves):
+        c = curves["dgefa/fast"]
+        assert c[1] / c[4] > 2.5
+        assert c[1] / c[8] > 4.0
+
+    def test_never_superlinear(self, curves):
+        for name, c in curves.items():
+            for P in PROCS[1:]:
+                assert c[P] > c[1] / (P * 1.05), (name, P)

@@ -1,0 +1,118 @@
+"""Experiment [sensitivity, extension]: how the interprocedural
+advantage depends on the machine's communication cost.
+
+The paper's numbers come from one machine (iPSC/860, very high message
+startup relative to compute).  A natural question for the reproduction:
+does the conclusion survive on a faster network?  We re-run the key
+comparisons under three cost models — the iPSC/860-flavoured default, a
+10x-faster network, and a free network — and check:
+
+* the interprocedural version's advantage *shrinks* as communication
+  gets cheaper (it comes from eliminating messages), but
+* the ordering never flips: fewer messages is never slower, and the
+  run-time resolution guard overhead keeps RTR behind even on a free
+  network (compute-side cost, not message-side).
+"""
+
+import pytest
+
+from repro.apps import FIG4, dgefa_source, make_dgefa_init
+from repro.core import Mode, Options, compile_program
+from repro.interp import run_sequential
+from repro.lang import parse
+from repro.machine import FAST_NETWORK, FREE, IPSC860
+
+import numpy as np
+
+MODELS = [("ipsc860", IPSC860), ("fast", FAST_NETWORK), ("free", FREE)]
+
+
+def run(src, arr, mode, cost, init_fn=None, reference=None):
+    cp = compile_program(src, Options(nprocs=4, mode=mode))
+    res = cp.run(cost=cost, init_fn=init_fn, timeout_s=120)
+    if reference is not None:
+        assert np.allclose(res.gathered(arr), reference)
+    return res.stats
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    out = {}
+    seq = run_sequential(parse(FIG4)).arrays["x"].data
+    n = 16
+    init = make_dgefa_init(n)
+    for label, cost in MODELS:
+        for mode in (Mode.INTER, Mode.INTRA, Mode.RTR):
+            out[("fig4", label, mode)] = run(
+                FIG4, "x", mode, cost, reference=seq
+            )
+            out[("dgefa", label, mode)] = run(
+                dgefa_source(n), "a", mode, cost, init_fn=init
+            )
+    return out
+
+
+def test_bench_cost_sensitivity(benchmark, sweep, paper_table):
+    def rerun():
+        seq = run_sequential(parse(FIG4)).arrays["x"].data
+        return run(FIG4, "x", Mode.INTER, FAST_NETWORK, reference=seq)
+
+    benchmark.pedantic(rerun, rounds=2, iterations=1)
+    rows = []
+    for prog in ("fig4", "dgefa"):
+        for label, _cost in MODELS:
+            inter = sweep[(prog, label, Mode.INTER)]
+            intra = sweep[(prog, label, Mode.INTRA)]
+            rtr = sweep[(prog, label, Mode.RTR)]
+            base = max(inter.time_us, 1e-9)
+            rows.append(
+                f"{prog:<7} {label:<9} "
+                f"inter={inter.time_ms:>9.3f}ms "
+                f"intra={intra.time_us / base:>6.2f}x "
+                f"rtr={rtr.time_us / base:>7.2f}x"
+            )
+    paper_table(
+        "Sensitivity: the interprocedural advantage vs network cost",
+        "prog    model     times (relative to interprocedural)",
+        rows,
+    )
+    benchmark.extra_info["models"] = len(MODELS)
+
+
+class TestShape:
+    def test_advantage_shrinks_with_cheaper_network(self, sweep):
+        for prog in ("fig4", "dgefa"):
+            slow_gap = (
+                sweep[(prog, "ipsc860", Mode.INTRA)].time_us
+                / sweep[(prog, "ipsc860", Mode.INTER)].time_us
+            )
+            fast_gap = (
+                sweep[(prog, "fast", Mode.INTRA)].time_us
+                / sweep[(prog, "fast", Mode.INTER)].time_us
+            )
+            assert fast_gap <= slow_gap + 0.05, prog
+
+    def test_ordering_never_flips(self, sweep):
+        for prog in ("fig4", "dgefa"):
+            for label, _ in MODELS[:2]:  # timed models
+                inter = sweep[(prog, label, Mode.INTER)].time_us
+                intra = sweep[(prog, label, Mode.INTRA)].time_us
+                rtr = sweep[(prog, label, Mode.RTR)].time_us
+                assert inter <= intra <= rtr, (prog, label)
+
+    def test_rtr_guard_overhead_survives_free_network(self, sweep):
+        """Even with zero communication cost, RTR pays compute for its
+        per-reference ownership tests."""
+        for prog in ("fig4", "dgefa"):
+            rtr = sweep[(prog, "free", Mode.RTR)]
+            inter = sweep[(prog, "free", Mode.INTER)]
+            assert rtr.guards > 20 * max(inter.guards, 1), prog
+
+    def test_message_counts_cost_independent(self, sweep):
+        for prog in ("fig4", "dgefa"):
+            for mode in (Mode.INTER, Mode.INTRA, Mode.RTR):
+                counts = {
+                    sweep[(prog, label, mode)].total_messages
+                    for label, _ in MODELS
+                }
+                assert len(counts) == 1, (prog, mode)

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Quickstart: compile the paper's Figure 1 program and run it.
+
+Shows the full pipeline on the simplest example:
+
+* a Fortran D program distributes an array BLOCK-wise and calls a
+  procedure that updates it with a shifted stencil;
+* the interprocedural compiler produces SPMD node code (Figure 2):
+  reduced loop bounds, guarded vectorized send/recv;
+* the node program executes on a simulated 4-processor
+  distributed-memory machine and matches sequential execution exactly.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import Mode, Options, compile_program, parse, run_sequential
+from repro.apps import FIG1
+
+P = 4
+
+
+def main() -> None:
+    print("=" * 72)
+    print("Fortran D source (the paper's Figure 1)")
+    print("=" * 72)
+    print(FIG1.strip())
+
+    opts = Options(nprocs=P, mode=Mode.INTER)
+    compiled = compile_program(FIG1, opts)
+
+    print()
+    print("=" * 72)
+    print(f"Generated SPMD node program for {P} processors (Figure 2)")
+    print("=" * 72)
+    print(compiled.text())
+
+    # the classical Figure 2 presentation: local bounds + overlap
+    from repro.core.localize import localized_procedure_text
+    from repro.dist import Distribution
+    from repro.lang.ast import DistSpec
+
+    dist = Distribution.from_specs([DistSpec("block")], [(1, 100)], P)
+    print("Localized node view of f1 (Figure 2 style):")
+    print(localized_procedure_text(
+        compiled.program.unit("f1"), {"x": dist},
+        {"x": compiled.report.overlaps.get(("p1", "x"), [(0, 5)])},
+    ))
+    print()
+    print("Parameterized-overlap variant (Figure 14 style):")
+    print(localized_procedure_text(
+        compiled.program.unit("f1"), {"x": dist}, {"x": [(0, 5)]},
+        parameterized=True,
+    ))
+    print()
+    print("Compiler report:")
+    for proc, dists in compiled.report.distributions.items():
+        for arr, d in dists.items():
+            print(f"  {proc}.{arr}: {d}")
+    for line in compiled.report.comm_placements:
+        print(f"  comm: {line}")
+
+    print()
+    print("=" * 72)
+    print("Execution on the simulated machine")
+    print("=" * 72)
+    result = compiled.run()
+    print(f"  {result.stats.summary()}")
+
+    seq = run_sequential(parse(FIG1))
+    ok = np.allclose(result.gathered("x"), seq.arrays["x"].data)
+    print(f"  distributed result matches sequential execution: {ok}")
+
+    # the run-time resolution baseline (Figure 3) for contrast
+    rtr = compile_program(FIG1, Options(nprocs=P, mode=Mode.RTR)).run()
+    print()
+    print("Compared with run-time resolution (Figure 3):")
+    print(f"  compile-time: {result.stats.messages:4d} messages, "
+          f"{result.stats.time_ms:8.3f} ms")
+    print(f"  run-time res: {rtr.stats.messages:4d} messages, "
+          f"{rtr.stats.time_ms:8.3f} ms "
+          f"({rtr.stats.time_us / result.stats.time_us:.1f}x slower)")
+
+
+if __name__ == "__main__":
+    main()

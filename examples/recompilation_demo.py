@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Recompilation analysis demo (§4, §8): separate compilation preserved.
+
+Simulates an editing session: after each edit, the manager recompiles
+only the procedures whose source or interprocedural inputs changed, and
+every build still runs correctly on the simulated machine.
+
+Run:  python examples/recompilation_demo.py
+"""
+
+import numpy as np
+
+from repro import Mode, Options, RecompilationManager, parse, run_sequential
+from repro.machine import FREE
+
+BASE = """
+program p
+real x(100)
+distribute x(block)
+call init(x)
+call smooth(x)
+call smooth(x)
+end
+
+subroutine init(x)
+real x(100)
+do i = 1, 100
+  x(i) = i * 1.0
+enddo
+end
+
+subroutine smooth(x)
+real x(100)
+do i = 1, 95
+  x(i) = f(x(i + 5))
+enddo
+end
+"""
+
+EDITS = [
+    ("initial build", BASE),
+    ("no edit", BASE),
+    ("edit init internals (scale by 2)",
+     BASE.replace("x(i) = i * 1.0", "x(i) = i * 2.0")),
+    ("edit smooth's shift (5 -> 3): exports change",
+     BASE.replace("x(i) = f(x(i + 5))", "x(i) = f(x(i + 3))")),
+    ("change the distribution (block -> cyclic)",
+     BASE.replace("distribute x(block)", "distribute x(cyclic)")),
+]
+
+
+def main() -> None:
+    mgr = RecompilationManager(opts=Options(nprocs=4, mode=Mode.INTER))
+    print(f"{'edit':<48} {'recompiled':<22} reused")
+    print("-" * 86)
+    for label, src in EDITS:
+        cp = mgr.compile(src)
+        res = cp.run(cost=FREE)
+        seq = run_sequential(parse(src)).arrays["x"].data
+        assert np.allclose(res.gathered("x"), seq), label
+        print(f"{label:<48} {','.join(mgr.last_recompiled) or '-':<22} "
+              f"{','.join(mgr.last_reused) or '-'}")
+    print()
+    print("Internal edits rebuild one procedure; interface-visible edits")
+    print("(message patterns, distributions) rebuild exactly the affected")
+    print("slice of the call graph — never the whole program.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Stencil relaxation through procedure calls, across machine sizes.
+
+The motivating workload of data-parallel Fortran: nearest-neighbour
+updates written as clean procedures.  Interprocedural compilation keeps
+one vectorized boundary exchange per time step per neighbour pair, no
+matter how the code is factored into procedures; the script sweeps
+processor counts and shows messages and simulated times for the 1-D and
+2-D variants.
+
+Run:  python examples/stencil_pipeline.py
+"""
+
+import numpy as np
+
+from repro import IPSC860, Mode, Options, compile_program, parse, \
+    run_sequential
+from repro.apps import stencil1d_source, stencil2d_source
+
+
+def sweep(label: str, src: str, arr: str, procs=(2, 4, 8)) -> None:
+    print("=" * 72)
+    print(label)
+    print("=" * 72)
+    seq = run_sequential(parse(src)).arrays[arr].data
+    print(f"{'P':>3} {'time (ms)':>10} {'msgs':>6} {'bytes':>9} "
+          f"{'msgs/step/pair':>15}  ok")
+    for P in procs:
+        cp = compile_program(src, Options(nprocs=P, mode=Mode.INTER))
+        res = cp.run(cost=IPSC860)
+        ok = np.allclose(res.gathered(arr), seq)
+        s = res.stats
+        pairs = P - 1
+        steps = 4
+        per = s.messages / (steps * max(pairs, 1))
+        print(f"{P:>3} {s.time_ms:>10.3f} {s.messages:>6} {s.bytes:>9} "
+              f"{per:>15.2f}  {ok}")
+    print()
+
+
+def main() -> None:
+    sweep(
+        "1-D relaxation (block), 256 points, 4 steps",
+        stencil1d_source(256, 4), "x",
+    )
+    sweep(
+        "2-D Jacobi (row-block), 64x64, 4 steps",
+        stencil2d_source(64, 4), "a", procs=(2, 4),
+    )
+    print("Each step costs a constant number of vectorized messages per")
+    print("neighbour pair regardless of problem size — the compiler has")
+    print("hoisted the exchanges out of the sweep procedures into the")
+    print("time loop and vectorized them over whole boundary strips.")
+
+
+if __name__ == "__main__":
+    main()

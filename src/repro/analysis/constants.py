@@ -1,0 +1,80 @@
+"""Interprocedural constant propagation (Table 1: "symbolics &
+constants").
+
+A formal scalar parameter is a known constant inside a procedure when
+every call site passes the same compile-time-constant actual (evaluated
+under the *caller's* constants, so values flow down call chains).  The
+compiler uses this to resolve symbolic array bounds like ``a(n, n)`` and
+loop bounds in callees — without it, DISTRIBUTE of formal arrays and
+most of dgefa would fall back to run-time resolution.
+
+The propagation is a single top-down pass over the (acyclic) call graph;
+a formal receiving different values from different call sites is dropped
+(procedure cloning, which runs alongside, tends to split exactly those
+call sites anyway).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from ..callgraph.acg import ACG
+from ..lang import ast as A
+from .symbolics import eval_const
+
+Number = Union[int, float]
+
+#: sentinel for "multiple conflicting values"
+_CONFLICT = object()
+
+
+def local_param_env(proc: A.Procedure) -> dict[str, Number]:
+    env: dict[str, Number] = {}
+    for p in proc.params:
+        v = eval_const(p.value, env)
+        if v is not None:
+            env[p.name] = v
+    return env
+
+
+def _is_assigned(proc: A.Procedure, name: str) -> bool:
+    for s in A.walk_stmts(proc.body):
+        if isinstance(s, A.Assign) and isinstance(s.target, A.Var) \
+                and s.target.name == name:
+            return True
+        if isinstance(s, A.Do) and s.var == name:
+            return True
+    return False
+
+
+def propagate_constants(acg: ACG) -> dict[str, dict[str, Number]]:
+    """Per-procedure constant environments: PARAMETER constants plus
+    formals constant across all call sites (and not reassigned)."""
+    result: dict[str, dict[str, Number]] = {}
+    for name in acg.topological_order():
+        proc = acg.node(name).proc
+        env = local_param_env(proc)
+        sites = acg.calls_to(name)
+        if sites:
+            incoming: dict[str, object] = {}
+            for site in sites:
+                caller_env = result.get(site.caller, {})
+                for formal, actual in site.actual_of.items():
+                    if formal in site.array_actuals:
+                        continue
+                    v = eval_const(actual, caller_env)
+                    prev = incoming.get(formal)
+                    if v is None:
+                        incoming[formal] = _CONFLICT
+                    elif prev is None:
+                        incoming[formal] = v
+                    elif prev is not _CONFLICT and prev != v:
+                        incoming[formal] = _CONFLICT
+            for formal, v in incoming.items():
+                if v is _CONFLICT:
+                    continue
+                if _is_assigned(proc, formal):
+                    continue
+                env.setdefault(formal, v)  # PARAMETER wins if clashing
+        result[name] = env
+    return result

@@ -1,0 +1,96 @@
+"""Generic iterative data-flow framework over the CFG.
+
+Both reaching-style (forward, may, union) and liveness-style (backward,
+may, union) problems are instances of :func:`solve`.  The lattice is sets
+of hashable facts; transfer functions are supplied per node as gen/kill
+sets or as arbitrary callables.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, FrozenSet, Hashable, Mapping
+
+from ..ir.cfg import CFG, Node
+
+Facts = FrozenSet[Hashable]
+
+Transfer = Callable[[Node, Facts], Facts]
+
+
+def gen_kill_transfer(
+    gen: Mapping[int, set],
+    kill: Callable[[Node, Facts], Facts] | Mapping[int, set],
+) -> Transfer:
+    """Build a transfer function ``out = gen ∪ (in - kill)`` from
+    per-node-id gen sets and either per-node-id kill sets or a callable
+    kill (for kills that depend on the incoming facts, e.g. "kill every
+    fact about variable v")."""
+
+    if callable(kill):
+        def f(node: Node, inset: Facts) -> Facts:
+            kept = inset - kill(node, inset)
+            return frozenset(gen.get(node.id, ())) | kept
+    else:
+        def f(node: Node, inset: Facts) -> Facts:
+            kept = inset - frozenset(kill.get(node.id, ()))
+            return frozenset(gen.get(node.id, ())) | kept
+    return f
+
+
+def solve(
+    cfg: CFG,
+    transfer: Transfer,
+    direction: str = "forward",
+    init: Facts = frozenset(),
+    boundary: Facts = frozenset(),
+) -> tuple[dict[int, Facts], dict[int, Facts]]:
+    """Worklist solver.
+
+    Returns ``(in_sets, out_sets)`` keyed by node id.  ``boundary`` seeds
+    the entry node (forward) or exit node (backward); ``init`` is the
+    initial value for all other nodes (use frozenset() for may/union
+    problems).
+    """
+    if direction not in ("forward", "backward"):
+        raise ValueError(direction)
+    fwd = direction == "forward"
+    start = cfg.entry if fwd else cfg.exit
+
+    ins: dict[int, Facts] = {n.id: init for n in cfg.nodes}
+    outs: dict[int, Facts] = {n.id: init for n in cfg.nodes}
+
+    def preds(n: Node) -> list[int]:
+        return n.preds if fwd else n.succs
+
+    def succs(n: Node) -> list[int]:
+        return n.succs if fwd else n.preds
+
+    work: deque[int] = deque(n.id for n in cfg.nodes)
+    ins[start.id] = boundary
+    outs[start.id] = transfer(start, boundary)
+
+    iterations = 0
+    limit = 50 * max(len(cfg.nodes), 1) * max(len(cfg.nodes), 1)
+    while work:
+        iterations += 1
+        if iterations > limit:  # pragma: no cover - safety net
+            raise RuntimeError("dataflow did not converge")
+        nid = work.popleft()
+        node = cfg.node(nid)
+        if node is not start:
+            merged: Facts = frozenset()
+            for p in preds(node):
+                merged = merged | outs[p]
+            ins[nid] = merged
+        new_out = transfer(node, ins[nid])
+        if new_out != outs[nid]:
+            outs[nid] = new_out
+            for s in succs(node):
+                if s not in work:
+                    work.append(s)
+    if fwd:
+        return ins, outs
+    # for backward problems, "in" conventionally means facts live *before*
+    # the node, i.e. the transfer output
+    return outs, ins

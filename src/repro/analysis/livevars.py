@@ -1,0 +1,99 @@
+"""Classical live-variable analysis over the CFG.
+
+Live decompositions are calculated "in the same manner as live
+variables" (§6.1); this module is the plain-variables instance, used to
+sanity-check the decomposition variant and for dead-assignment queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir.cfg import CFG
+from ..lang import ast as A
+from .dataflow import gen_kill_transfer, solve
+
+
+@dataclass
+class LiveVars:
+    """Live-variable sets for one procedure body."""
+
+    cfg: CFG
+    #: live before each node (facts are variable names)
+    before: dict[int, frozenset[str]] = field(default_factory=dict)
+    after: dict[int, frozenset[str]] = field(default_factory=dict)
+
+    def live_before(self, stmt: A.Stmt) -> frozenset[str]:
+        return self.before.get(self.cfg.node_of(stmt).id, frozenset())
+
+    def live_after(self, stmt: A.Stmt) -> frozenset[str]:
+        return self.after.get(self.cfg.node_of(stmt).id, frozenset())
+
+    def is_dead_store(self, stmt: A.Assign) -> bool:
+        """A scalar assignment whose target is not live afterwards."""
+        if not isinstance(stmt.target, A.Var):
+            return False
+        return stmt.target.name not in self.live_after(stmt)
+
+
+def _uses(s: A.Stmt) -> set[str]:
+    out: set[str] = set()
+
+    def note(e: A.Expr) -> None:
+        for x in A.walk_exprs(e):
+            if isinstance(x, A.Var):
+                out.add(x.name)
+            elif isinstance(x, A.ArrayRef):
+                out.add(x.name)
+
+    if isinstance(s, A.Assign):
+        note(s.expr)
+        if isinstance(s.target, A.ArrayRef):
+            # the array itself stays live (partial update), and the
+            # subscripts are read
+            out.add(s.target.name)
+            for sub in s.target.subs:
+                note(sub)
+    elif isinstance(s, A.If):
+        note(s.cond)
+    elif isinstance(s, A.Do):
+        note(s.lo)
+        note(s.hi)
+        note(s.step)
+    elif isinstance(s, A.DoWhile):
+        note(s.cond)
+    elif isinstance(s, (A.Call, A.Print)):
+        for e in A.stmt_exprs(s):
+            note(e)
+    return out
+
+
+def _kills(s: A.Stmt) -> set[str]:
+    if isinstance(s, A.Assign) and isinstance(s.target, A.Var):
+        return {s.target.name}
+    if isinstance(s, A.Do):
+        return {s.var}
+    return set()
+
+
+def compute_live_vars(
+    body: list[A.Stmt], live_out: frozenset[str] = frozenset()
+) -> LiveVars:
+    """Solve liveness backward; *live_out* seeds the exit (e.g. formal
+    out-parameters)."""
+    cfg = CFG.build(body)
+    gen: dict[int, set[str]] = {}
+    kill: dict[int, set[str]] = {}
+    for node in cfg.nodes:
+        if node.stmt is None:
+            continue
+        gen[node.id] = _uses(node.stmt)
+        kill[node.id] = _kills(node.stmt)
+
+    transfer = gen_kill_transfer(gen, kill)
+    before, after = solve(cfg, transfer, "backward", boundary=live_out)
+    return LiveVars(
+        cfg,
+        {k: frozenset(v) for k, v in before.items()},
+        {k: frozenset(v) for k, v in after.items()},
+    )

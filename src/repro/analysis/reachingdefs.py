@@ -1,0 +1,84 @@
+"""Classical reaching definitions over the CFG.
+
+Reaching decompositions "is computed in the same manner as reaching
+definitions, with each decomposition treated as a definition" (§5.2);
+this module is the plain-definitions instance, used for scalar
+data-flow queries (e.g. which assignment feeds a loop bound) and as the
+reference implementation the decomposition variant is tested against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..ir.cfg import CFG
+from ..lang import ast as A
+from .dataflow import gen_kill_transfer, solve
+
+#: a definition fact: (variable name, defining statement id)
+Def = tuple[str, int]
+
+
+@dataclass
+class ReachingDefs:
+    """Reaching-definition sets for one procedure body."""
+
+    cfg: CFG
+    ins: dict[int, frozenset[Def]] = field(default_factory=dict)
+    outs: dict[int, frozenset[Def]] = field(default_factory=dict)
+    #: definition id -> the statement object
+    def_stmt: dict[int, A.Stmt] = field(default_factory=dict)
+
+    def reaching(self, stmt: A.Stmt, var: str) -> list[A.Stmt]:
+        """The definitions of *var* reaching *stmt* (statements are
+        mutable AST nodes, so the result is an identity-deduplicated
+        list rather than a set)."""
+        node = self.cfg.node_of(stmt)
+        out: list[A.Stmt] = []
+        for (v, d) in self.ins.get(node.id, frozenset()):
+            if v == var and d in self.def_stmt:
+                cand = self.def_stmt[d]
+                if not any(cand is x for x in out):
+                    out.append(cand)
+        return out
+
+    def unique_reaching(self, stmt: A.Stmt, var: str) -> Optional[A.Stmt]:
+        defs = self.reaching(stmt, var)
+        return defs[0] if len(defs) == 1 else None
+
+
+def _defined_var(s: A.Stmt) -> Optional[str]:
+    if isinstance(s, A.Assign) and isinstance(s.target, A.Var):
+        return s.target.name
+    if isinstance(s, A.Do):
+        return s.var
+    return None
+
+
+def compute_reaching_defs(body: list[A.Stmt]) -> ReachingDefs:
+    """Solve reaching definitions for scalar variables in *body*."""
+    cfg = CFG.build(body)
+    result = ReachingDefs(cfg)
+    gen: dict[int, set[Def]] = {}
+    for node in cfg.nodes:
+        if node.stmt is None:
+            continue
+        var = _defined_var(node.stmt)
+        if var is not None:
+            gen[node.id] = {(var, id(node.stmt))}
+            result.def_stmt[id(node.stmt)] = node.stmt
+
+    def kill(node, inset):
+        if node.stmt is None:
+            return frozenset()
+        var = _defined_var(node.stmt)
+        if var is None:
+            return frozenset()
+        return frozenset(f for f in inset if f[0] == var)
+
+    transfer = gen_kill_transfer(gen, kill)
+    ins, outs = solve(cfg, transfer, "forward")
+    result.ins = {k: frozenset(v) for k, v in ins.items()}
+    result.outs = {k: frozenset(v) for k, v in outs.items()}
+    return result

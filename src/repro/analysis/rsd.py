@@ -1,0 +1,445 @@
+"""Regular Section Descriptors (RSDs).
+
+The Fortran D compiler represents both *index sets* (collections of data)
+and *iteration sets* (collections of loop iterations) as regular sections
+[Havlak & Kennedy 1991], written in Fortran 90 triplet notation — e.g.
+``[1:25, 1:100]`` or ``[26:30, i]``.
+
+An RSD here is a tuple of per-dimension descriptors:
+
+* :class:`Range` — numeric triplet ``lo:hi:step`` (step may be > 1 for
+  cyclic index sets);
+* :class:`SymDim` — a symbolic dimension holding an AST expression (a
+  single index such as ``i``, or a symbolic triplet) used when bounds are
+  not compile-time constants.
+
+Set algebra (intersection, difference, containment, merging) is exact for
+numeric dimensions and structural/conservative for symbolic ones, exactly
+the precision the paper's compiler achieves ("merged only if no loss of
+precision will result", §5.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence, Union
+
+from ..lang import ast as A
+from ..lang.printer import expr_str
+
+
+@dataclass(frozen=True)
+class Range:
+    """Numeric triplet ``lo:hi:step`` (inclusive bounds, step >= 1).
+
+    An empty range is canonicalized to ``Range(1, 0, 1)``.
+    """
+
+    lo: int
+    hi: int
+    step: int = 1
+
+    def __post_init__(self) -> None:
+        if self.step < 1:
+            raise ValueError(f"step must be >= 1, got {self.step}")
+
+    @property
+    def empty(self) -> bool:
+        return self.hi < self.lo
+
+    @property
+    def count(self) -> int:
+        if self.empty:
+            return 0
+        return (self.hi - self.lo) // self.step + 1
+
+    @property
+    def last(self) -> int:
+        """Largest member (normalized hi)."""
+        if self.empty:
+            return self.hi
+        return self.lo + (self.count - 1) * self.step
+
+    def normalized(self) -> "Range":
+        if self.empty:
+            return EMPTY_RANGE
+        return Range(self.lo, self.last, 1 if self.count == 1 else self.step)
+
+    def contains(self, v: int) -> bool:
+        return (not self.empty) and self.lo <= v <= self.hi \
+            and (v - self.lo) % self.step == 0
+
+    def contains_range(self, other: "Range") -> bool:
+        if other.empty:
+            return True
+        if self.empty:
+            return False
+        if self.step == 1:
+            return self.lo <= other.lo and other.last <= self.hi
+        return all(self.contains(v) for v in other.iter())
+
+    def iter(self) -> Iterable[int]:
+        return range(self.lo, self.hi + 1, self.step)
+
+    def shift(self, offset: int) -> "Range":
+        if self.empty:
+            return self
+        return Range(self.lo + offset, self.hi + offset, self.step)
+
+    def intersect(self, other: "Range") -> "Range":
+        """Exact intersection; result step is lcm of the steps when the
+        phases are compatible, else empty."""
+        if self.empty or other.empty:
+            return EMPTY_RANGE
+        if self.step == 1 and other.step == 1:
+            lo, hi = max(self.lo, other.lo), min(self.hi, other.hi)
+            return Range(lo, hi) if lo <= hi else EMPTY_RANGE
+        # general strided case via CRT on small steps
+        import math
+
+        g = math.gcd(self.step, other.step)
+        if (other.lo - self.lo) % g != 0:
+            return EMPTY_RANGE
+        l = self.step // g * other.step  # lcm
+        # find smallest x >= max(lo) with x ≡ self.lo (mod self.step)
+        # and x ≡ other.lo (mod other.step)
+        start = max(self.lo, other.lo)
+        x = None
+        for v in range(start, start + l):
+            if (v - self.lo) % self.step == 0 and (v - other.lo) % other.step == 0:
+                x = v
+                break
+        if x is None:
+            return EMPTY_RANGE
+        hi = min(self.last, other.last)
+        if x > hi:
+            return EMPTY_RANGE
+        return Range(x, hi, l).normalized()
+
+    def subtract(self, other: "Range") -> list["Range"]:
+        """Exact difference ``self - other`` as a list of ranges."""
+        if self.empty:
+            return []
+        if other.empty:
+            return [self]
+        if self.step == 1 and other.step == 1:
+            out = []
+            if other.lo > self.lo:
+                out.append(Range(self.lo, min(self.hi, other.lo - 1)))
+            if other.hi < self.hi:
+                out.append(Range(max(self.lo, other.hi + 1), self.hi))
+            return [r for r in out if not r.empty]
+        # strided: enumerate when small, else conservative (keep self)
+        if self.count <= 4096:
+            kept = [v for v in self.iter() if not other.contains(v)]
+            return _ranges_from_sorted(kept)
+        inter = self.intersect(other)
+        if inter.empty:
+            return [self]
+        return [self]  # conservative over-approximation
+
+    def union_merge(self, other: "Range") -> Optional["Range"]:
+        """Merge into a single range when no precision is lost, else
+        None (the paper merges RSDs "only if no loss of precision will
+        result")."""
+        a, b = self.normalized(), other.normalized()
+        if a.empty:
+            return b
+        if b.empty:
+            return a
+        if a.step == b.step == 1:
+            if a.lo <= b.hi + 1 and b.lo <= a.hi + 1:
+                return Range(min(a.lo, b.lo), max(a.hi, b.hi))
+            return None
+        if a.step == b.step and (a.lo - b.lo) % a.step == 0:
+            if a.lo <= b.last + a.step and b.lo <= a.last + a.step:
+                return Range(min(a.lo, b.lo), max(a.last, b.last), a.step)
+        if a.contains_range(b):
+            return a
+        if b.contains_range(a):
+            return b
+        return None
+
+    def __str__(self) -> str:
+        if self.empty:
+            return "empty"
+        if self.lo == self.hi:
+            return str(self.lo)
+        if self.step == 1:
+            return f"{self.lo}:{self.hi}"
+        return f"{self.lo}:{self.hi}:{self.step}"
+
+
+EMPTY_RANGE = Range(1, 0, 1)
+
+
+def _ranges_from_sorted(values: list[int]) -> list[Range]:
+    """Pack a sorted list of ints into maximal constant-stride ranges."""
+    out: list[Range] = []
+    i = 0
+    n = len(values)
+    while i < n:
+        if i + 1 >= n:
+            out.append(Range(values[i], values[i]))
+            break
+        stride = values[i + 1] - values[i]
+        j = i + 1
+        while j + 1 < n and values[j + 1] - values[j] == stride:
+            j += 1
+        out.append(Range(values[i], values[j], max(stride, 1)))
+        i = j + 1
+    return out
+
+
+@dataclass(frozen=True)
+class SymDim:
+    """Symbolic dimension: a single index expression (``i``) or a
+    symbolic triplet (``lo:hi`` with expression bounds)."""
+
+    lo: A.Expr
+    hi: Optional[A.Expr] = None  # None => single index
+    step: Optional[A.Expr] = None
+
+    @property
+    def is_point(self) -> bool:
+        return self.hi is None
+
+    def __str__(self) -> str:
+        if self.hi is None:
+            return expr_str(self.lo)
+        s = f"{expr_str(self.lo)}:{expr_str(self.hi)}"
+        if self.step is not None:
+            s += f":{expr_str(self.step)}"
+        return s
+
+
+Dim = Union[Range, SymDim]
+
+
+@dataclass(frozen=True)
+class RSD:
+    """A regular section descriptor over ``rank`` dimensions."""
+
+    dims: tuple[Dim, ...]
+
+    @property
+    def rank(self) -> int:
+        return len(self.dims)
+
+    @property
+    def empty(self) -> bool:
+        return any(isinstance(d, Range) and d.empty for d in self.dims)
+
+    @property
+    def numeric(self) -> bool:
+        return all(isinstance(d, Range) for d in self.dims)
+
+    @property
+    def count(self) -> int:
+        """Number of elements; raises for symbolic sections."""
+        if not self.numeric:
+            raise ValueError(f"count of symbolic RSD {self}")
+        n = 1
+        for d in self.dims:
+            n *= d.count  # type: ignore[union-attr]
+        return n
+
+    def contains(self, other: "RSD") -> bool:
+        """Structural/exact containment test (conservative: False when
+        not provable)."""
+        if other.empty:
+            return True
+        if self.rank != other.rank:
+            return False
+        for a, b in zip(self.dims, other.dims):
+            if isinstance(a, Range) and isinstance(b, Range):
+                if not a.contains_range(b):
+                    return False
+            elif a != b:
+                return False
+        return True
+
+    def intersect(self, other: "RSD") -> "RSD":
+        if self.rank != other.rank:
+            raise ValueError("rank mismatch")
+        dims: list[Dim] = []
+        for a, b in zip(self.dims, other.dims):
+            if isinstance(a, Range) and isinstance(b, Range):
+                dims.append(a.intersect(b))
+            elif a == b:
+                dims.append(a)
+            else:
+                # unknown symbolic overlap: conservative = keep a
+                dims.append(a)
+        return RSD(tuple(dims))
+
+    def subtract(self, other: "RSD") -> list["RSD"]:
+        """Exact rectangular difference when all differing dims are
+        numeric; conservative (returns self) otherwise.
+
+        The result is a disjoint list of RSDs covering ``self - other``.
+        """
+        if self.rank != other.rank:
+            raise ValueError("rank mismatch")
+        if self.empty:
+            return []
+        if other.empty:
+            return [self]
+        # dimensions where other doesn't fully cover self
+        out: list[RSD] = []
+        remaining = list(self.dims)
+        for axis, (a, b) in enumerate(zip(self.dims, other.dims)):
+            if isinstance(a, Range) and isinstance(b, Range):
+                pieces = a.subtract(b)
+                inter = a.intersect(b)
+            elif a == b:
+                pieces, inter = [], a
+            else:
+                # cannot reason about symbolic difference: conservative
+                return [self]
+            for piece in pieces:
+                dims = list(remaining)
+                dims[axis] = piece
+                cand = RSD(tuple(dims))
+                if not cand.empty:
+                    out.append(cand)
+            if isinstance(inter, Range) and inter.empty:
+                return out
+            remaining[axis] = inter
+        return out
+
+    def shift(self, axis: int, offset: int) -> "RSD":
+        dims = list(self.dims)
+        d = dims[axis]
+        if isinstance(d, Range):
+            dims[axis] = d.shift(offset)
+        else:
+            lo = A.add(d.lo, A.Num(offset))
+            hi = None if d.hi is None else A.add(d.hi, A.Num(offset))
+            dims[axis] = SymDim(lo, hi, d.step)
+        return RSD(tuple(dims))
+
+    def with_dim(self, axis: int, dim: Dim) -> "RSD":
+        dims = list(self.dims)
+        dims[axis] = dim
+        return RSD(tuple(dims))
+
+    def merge(self, other: "RSD") -> Optional["RSD"]:
+        """Union into one RSD iff exactly representable (differ in at most
+        one numeric dimension that merges cleanly)."""
+        if self.rank != other.rank:
+            return None
+        if self.empty:
+            return other
+        if other.empty:
+            return self
+        diff_axis = None
+        for axis, (a, b) in enumerate(zip(self.dims, other.dims)):
+            if a != b:
+                if diff_axis is not None:
+                    return None
+                diff_axis = axis
+        if diff_axis is None:
+            return self
+        a, b = self.dims[diff_axis], other.dims[diff_axis]
+        if isinstance(a, Range) and isinstance(b, Range):
+            merged = a.union_merge(b)
+            if merged is not None:
+                return self.with_dim(diff_axis, merged)
+        return None
+
+    def to_subs(self) -> list[A.Expr]:
+        """Convert to AST subscript expressions (Triplets / indices) for
+        use in generated Send/Recv statements."""
+        subs: list[A.Expr] = []
+        for d in self.dims:
+            if isinstance(d, Range):
+                if d.lo == d.hi:
+                    subs.append(A.Num(d.lo))
+                else:
+                    subs.append(
+                        A.Triplet(
+                            A.Num(d.lo),
+                            A.Num(d.hi),
+                            A.Num(d.step) if d.step != 1 else None,
+                        )
+                    )
+            else:
+                if d.is_point:
+                    subs.append(d.lo)
+                else:
+                    subs.append(A.Triplet(d.lo, d.hi, d.step))
+        return subs
+
+    def __str__(self) -> str:
+        return "[" + ", ".join(str(d) for d in self.dims) + "]"
+
+
+def rsd(*dims: Union[Dim, int, tuple]) -> RSD:
+    """Convenience constructor::
+
+        rsd((1, 25), (1, 100))      -> [1:25, 1:100]
+        rsd(5, (6, 30))             -> [5, 6:30]
+        rsd((1, 99, 2))             -> [1:99:2]
+    """
+    out: list[Dim] = []
+    for d in dims:
+        if isinstance(d, (Range, SymDim)):
+            out.append(d)
+        elif isinstance(d, int):
+            out.append(Range(d, d))
+        elif isinstance(d, tuple):
+            if len(d) == 2:
+                out.append(Range(d[0], d[1]))
+            else:
+                out.append(Range(d[0], d[1], d[2]))
+        elif isinstance(d, A.Expr):
+            out.append(SymDim(d))
+        else:
+            raise TypeError(f"bad dim {d!r}")
+    return RSD(tuple(out))
+
+
+def merge_rsd_list(sections: Sequence[RSD]) -> list[RSD]:
+    """Repeatedly merge pairs of RSDs that combine without precision loss
+    (used for message coalescing, §5.4)."""
+    work = [s for s in sections if not s.empty]
+    changed = True
+    while changed:
+        changed = False
+        for i in range(len(work)):
+            for j in range(i + 1, len(work)):
+                m = work[i].merge(work[j])
+                if m is not None:
+                    work[i] = m
+                    del work[j]
+                    changed = True
+                    break
+            if changed:
+                break
+    return work
+
+
+def subs_to_rsd(subs: Sequence[A.Expr]) -> RSD:
+    """Build an RSD from AST subscripts, turning constant expressions into
+    numeric dims and everything else into SymDims."""
+    dims: list[Dim] = []
+    for s in subs:
+        if isinstance(s, A.Num) and isinstance(s.value, int):
+            dims.append(Range(s.value, s.value))
+        elif isinstance(s, A.Triplet):
+            lo, hi, step = s.lo, s.hi, s.step
+            if (
+                isinstance(lo, A.Num)
+                and isinstance(hi, A.Num)
+                and (step is None or isinstance(step, A.Num))
+            ):
+                dims.append(
+                    Range(lo.value, hi.value, step.value if step else 1)
+                )
+            else:
+                dims.append(SymDim(lo if lo is not None else A.ONE,
+                                   hi, step))
+        else:
+            dims.append(SymDim(s))
+    return RSD(tuple(dims))

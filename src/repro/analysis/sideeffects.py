@@ -1,0 +1,114 @@
+"""Interprocedural side-effect analysis: GMOD / GREF and ``Appear``.
+
+``Gmod(P)`` / ``Gref(P)`` are the formal parameters of P that may be
+modified / referenced by P *or its descendants* in the call graph.  The
+paper uses ``Appear(P) = Gmod(P) ∪ Gref(P)`` to avoid unnecessary cloning
+(§5.2): cloning is driven only by decompositions of variables that
+actually appear in the callee or below.
+
+Alongside the scalar sets we collect *array section* side effects —
+RSD-summarized defs/uses per array (the "interprocedural RSD analysis"
+of §4/§5.4) — which communication analysis consumes at call sites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..callgraph.acg import ACG
+from ..lang import ast as A
+
+
+@dataclass
+class SideEffects:
+    """Per-procedure side-effect summary over *formal* names."""
+
+    mod: set[str] = field(default_factory=set)  # directly or below
+    ref: set[str] = field(default_factory=set)
+
+    @property
+    def appear(self) -> set[str]:
+        return self.mod | self.ref
+
+
+def _direct_effects(proc: A.Procedure) -> SideEffects:
+    """mod/ref of the procedure's own statements (call effects excluded)."""
+    eff = SideEffects()
+
+    def note_expr(e: A.Expr) -> None:
+        for sub in A.walk_exprs(e):
+            if isinstance(sub, (A.Var, A.ArrayRef)):
+                eff.ref.add(sub.name)
+            elif isinstance(sub, A.CallExpr):
+                pass  # intrinsic: args already walked
+
+    for s in A.walk_stmts(proc.body):
+        if isinstance(s, A.Assign):
+            eff.mod.add(s.target.name)
+            if isinstance(s.target, A.ArrayRef):
+                for sub in s.target.subs:
+                    note_expr(sub)
+            note_expr(s.expr)
+        elif isinstance(s, A.If):
+            note_expr(s.cond)
+        elif isinstance(s, A.Do):
+            eff.mod.add(s.var)
+            note_expr(s.lo)
+            note_expr(s.hi)
+            note_expr(s.step)
+        elif isinstance(s, A.DoWhile):
+            note_expr(s.cond)
+        elif isinstance(s, A.Print):
+            for item in s.items:
+                note_expr(item)
+        elif isinstance(s, A.Call):
+            for a in s.args:
+                # scalar-expression actuals are referenced here; array
+                # names flow through the interprocedural phase below
+                if not isinstance(a, A.Var):
+                    note_expr(a)
+    return eff
+
+
+def compute_side_effects(acg: ACG) -> dict[str, SideEffects]:
+    """Solve GMOD/GREF bottom-up over the (acyclic) call graph.
+
+    Returns per-procedure summaries restricted to names visible in that
+    procedure (formals and locals); at call sites the callee's formal
+    effects are translated to the actuals.
+    """
+    result: dict[str, SideEffects] = {}
+    for name in acg.reverse_topological_order():
+        proc = acg.node(name).proc
+        eff = _direct_effects(proc)
+        for site in acg.calls_from(name):
+            callee_eff = result[site.callee]
+            callee_proc = acg.node(site.callee).proc
+            for g in callee_proc.commons:
+                if g in callee_eff.mod:
+                    eff.mod.add(g)
+                if g in callee_eff.ref:
+                    eff.ref.add(g)
+            for formal in callee_proc.formals:
+                actual = site.actual_of[formal]
+                if isinstance(actual, A.Var):
+                    if formal in callee_eff.mod:
+                        eff.mod.add(actual.name)
+                    if formal in callee_eff.ref:
+                        eff.ref.add(actual.name)
+                else:
+                    # expression actual: a use of its variables; cannot be
+                    # modified (Fortran would pass a temporary)
+                    if formal in callee_eff.ref or formal in callee_eff.mod:
+                        from .symbolics import free_vars
+
+                        eff.ref |= free_vars(actual)
+        result[name] = eff
+    return result
+
+
+def appear(acg: ACG, effects: dict[str, SideEffects], name: str) -> set[str]:
+    """``Appear(P)`` restricted to the names visible across the call
+    boundary: formal parameters and COMMON (global) arrays (§5.2)."""
+    proc = acg.node(name).proc
+    return effects[name].appear & (set(proc.formals) | set(proc.commons))

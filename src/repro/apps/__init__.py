@@ -1,0 +1,47 @@
+"""Fortran D application sources: the paper's worked examples and the
+evaluation workloads (dgefa, stencils, ADI)."""
+
+from .adi import adi_source
+from .cg import cg_source
+from .dgefa import (
+    dgefa_dgesl_source,
+    dgefa_pivot_reference,
+    dgefa_pivot_source,
+    dgefa_reference_lu,
+    dgefa_source,
+    dgesl_reference,
+    handcoded_dgefa_spmd,
+    make_dgefa_init,
+)
+from .paper_figures import (
+    FIG1,
+    FIG4,
+    FIG15,
+    fig1_source,
+    fig4_source,
+    fig15_source,
+)
+from .stencil import stencil1d_source, stencil2d_source
+from .wave import wave_source
+
+__all__ = [
+    "FIG1",
+    "FIG4",
+    "FIG15",
+    "fig1_source",
+    "fig4_source",
+    "fig15_source",
+    "dgefa_source",
+    "dgefa_dgesl_source",
+    "dgefa_pivot_source",
+    "dgefa_pivot_reference",
+    "dgefa_reference_lu",
+    "dgesl_reference",
+    "handcoded_dgefa_spmd",
+    "make_dgefa_init",
+    "stencil1d_source",
+    "stencil2d_source",
+    "wave_source",
+    "adi_source",
+    "cg_source",
+]

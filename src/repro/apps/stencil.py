@@ -1,0 +1,76 @@
+"""Stencil/relaxation workloads — the data-parallel computations the
+paper's introduction motivates (nearest-neighbour communication whose
+vectorization across procedure boundaries is the bread-and-butter win).
+"""
+
+from __future__ import annotations
+
+
+def stencil1d_source(n: int = 256, steps: int = 8, shift: int = 1) -> str:
+    """1-D relaxation: each time step calls a smoothing procedure; the
+    shift communication must vectorize in the caller, once per step."""
+    return f"""
+program relax
+real x({n}), y({n})
+parameter (n = {n})
+align y(i) with x(i)
+distribute x(block)
+do t = 1, {steps}
+  call smooth(x, y, n)
+  call copyback(x, y, n)
+enddo
+end
+
+subroutine smooth(x, y, n)
+real x(n), y(n)
+integer n
+do i = 2, n - 1
+  y(i) = 0.5 * x(i) + 0.25 * x(i - 1) + 0.25 * x(i + 1)
+enddo
+end
+
+subroutine copyback(x, y, n)
+real x(n), y(n)
+integer n
+do i = 2, n - 1
+  x(i) = y(i)
+enddo
+end
+"""
+
+
+def stencil2d_source(n: int = 64, steps: int = 4) -> str:
+    """2-D row-block Jacobi sweep through a procedure: north/south
+    neighbour rows communicate, vectorized over whole rows."""
+    return f"""
+program jacobi
+real a({n},{n}), b({n},{n})
+parameter (n = {n})
+align b(i, j) with a(i, j)
+distribute a(block, :)
+do t = 1, {steps}
+  call sweep(a, b, n)
+  call copy2(a, b, n)
+enddo
+end
+
+subroutine sweep(a, b, n)
+real a(n,n), b(n,n)
+integer n
+do j = 2, n - 1
+  do i = 2, n - 1
+    b(i, j) = 0.25 * (a(i - 1, j) + a(i + 1, j) + a(i, j - 1) + a(i, j + 1))
+  enddo
+enddo
+end
+
+subroutine copy2(a, b, n)
+real a(n,n), b(n,n)
+integer n
+do j = 2, n - 1
+  do i = 2, n - 1
+    a(i, j) = b(i, j)
+  enddo
+enddo
+end
+"""

@@ -1,0 +1,53 @@
+"""1-D wave equation (leapfrog) — a multi-array stencil workload.
+
+Two state arrays advance together each time step, reading the same
+neighbour strips: the aggregation optimization (§5.4) packs both
+arrays' boundary strips into one message per neighbour per step.
+"""
+
+from __future__ import annotations
+
+
+def wave_source(n: int = 128, steps: int = 8, c2: float = 0.25) -> str:
+    """Leapfrog u_next = 2u - u_prev + c2 * (u(i-1) - 2u(i) + u(i+1)),
+    factored into procedures the way application codes are."""
+    return f"""
+program wave
+real u({n}), uprev({n}), unew({n})
+parameter (n = {n})
+align uprev(i) with u(i)
+align unew(i) with u(i)
+distribute u(block)
+call setup(u, uprev, n)
+do t = 1, {steps}
+  call advance(u, uprev, unew, n)
+  call rotate(u, uprev, unew, n)
+enddo
+end
+
+subroutine setup(u, uprev, n)
+real u(n), uprev(n)
+integer n
+do i = 1, n
+  u(i) = f(i * 1.0)
+  uprev(i) = u(i)
+enddo
+end
+
+subroutine advance(u, uprev, unew, n)
+real u(n), uprev(n), unew(n)
+integer n
+do i = 2, n - 1
+  unew(i) = 2.0 * u(i) - uprev(i) + {c2} * (u(i - 1) - 2.0 * u(i) + u(i + 1))
+enddo
+end
+
+subroutine rotate(u, uprev, unew, n)
+real u(n), uprev(n), unew(n)
+integer n
+do i = 2, n - 1
+  uprev(i) = u(i)
+  u(i) = unew(i)
+enddo
+end
+"""

@@ -1,0 +1,5 @@
+"""Augmented call graph."""
+
+from .acg import ACG, CallGraphError, CallSite, LoopInfo, ProcNode
+
+__all__ = ["ACG", "CallGraphError", "CallSite", "LoopInfo", "ProcNode"]

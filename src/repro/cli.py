@@ -1,0 +1,185 @@
+"""Command-line driver: the ``fdc`` Fortran D compiler.
+
+Usage::
+
+    fdc program.fd                       # compile, print node program
+    fdc program.fd --nprocs 8 --mode rtr
+    fdc program.fd --run                 # execute on the simulated machine
+    fdc program.fd --run --gather x      # print the gathered array
+    fdc program.fd --report              # compilation decisions
+    fdc program.fd --localize f1         # Figure-2-style local view
+    fdc program.fd --sequential          # reference run of the source
+
+(also available as ``python -m repro.cli``)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .core import DynOpt, Mode, Options, compile_program
+from .core.localize import localized_procedure_text
+from .dist import Distribution
+from .interp import run_sequential
+from .lang import parse
+from .machine import FAST_NETWORK, FREE, IPSC860
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="fdc",
+        description="Fortran D compiler for simulated MIMD "
+                    "distributed-memory machines (SC'92 reproduction)",
+    )
+    p.add_argument("source", help="Fortran D source file ('-' for stdin)")
+    p.add_argument("--nprocs", "-p", type=int, default=4,
+                   help="number of node processors (default 4)")
+    p.add_argument("--mode", choices=[m.value for m in Mode],
+                   default="inter",
+                   help="compilation strategy: inter(procedural), "
+                        "intra (immediate instantiation), rtr "
+                        "(run-time resolution)")
+    p.add_argument("--dynopt", type=int, choices=[0, 1, 2, 3], default=3,
+                   help="dynamic-decomposition optimization level "
+                        "(0=none .. 3=array kills; Figure 16 a-d)")
+    p.add_argument("--cost", choices=["ipsc860", "fast", "free"],
+                   default="ipsc860", help="communication cost model")
+    p.add_argument("--run", action="store_true",
+                   help="execute the node program on the simulated "
+                        "machine and print statistics")
+    p.add_argument("--gather", metavar="ARRAY",
+                   help="with --run: print the gathered global array")
+    p.add_argument("--verify", action="store_true",
+                   help="with --run: compare against sequential "
+                        "execution of the source")
+    p.add_argument("--sequential", action="store_true",
+                   help="run the source sequentially and exit")
+    p.add_argument("--report", action="store_true",
+                   help="print compilation decisions (distributions, "
+                        "clones, communication placements, fallbacks)")
+    p.add_argument("--localize", metavar="PROC",
+                   help="print PROC with Figure-2-style local "
+                        "declarations (block distributions)")
+    p.add_argument("--no-text", action="store_true",
+                   help="suppress printing the node program")
+    return p
+
+
+def _read_source(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path) as f:
+        return f.read()
+
+
+COSTS = {"ipsc860": IPSC860, "fast": FAST_NETWORK, "free": FREE}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        source = _read_source(args.source)
+    except OSError as e:
+        print(f"fdc: {e}", file=sys.stderr)
+        return 2
+
+    if args.sequential:
+        frame = run_sequential(parse(source))
+        for name, arr in frame.arrays.items():
+            print(f"{name}: shape={arr.data.shape} "
+                  f"sum={float(arr.data.sum()):.6g}")
+        return 0
+
+    opts = Options(
+        nprocs=args.nprocs,
+        mode=Mode(args.mode),
+        dynopt=DynOpt(args.dynopt),
+    )
+    try:
+        cp = compile_program(source, opts)
+    except Exception as e:  # surface compile errors with a clean message
+        print(f"fdc: compilation failed: {e}", file=sys.stderr)
+        return 1
+
+    if not args.no_text:
+        print(cp.text())
+
+    if args.report:
+        r = cp.report
+        print(f"! mode={r.mode.value} nprocs={r.nprocs}")
+        for proc, dists in r.distributions.items():
+            for arr, d in dists.items():
+                print(f"! dist {proc}.{arr}: {d}")
+        for base, clones in r.cloned.items():
+            print(f"! cloned {base} -> {', '.join(clones)}")
+        for line in r.comm_placements:
+            print(f"! comm {line}")
+        for line in r.rtr_fallbacks:
+            print(f"! rtr-fallback {line}")
+        if r.remaps_emitted or r.remaps_eliminated or r.remaps_marked:
+            print(f"! remaps emitted={r.remaps_emitted} "
+                  f"eliminated={r.remaps_eliminated} "
+                  f"hoisted={r.remaps_hoisted} marked={r.remaps_marked}")
+        for (proc, arr), offs in r.overlaps.items():
+            print(f"! overlap {proc}.{arr}: {offs}")
+
+    if args.localize:
+        try:
+            proc = cp.program.unit(args.localize)
+        except KeyError:
+            print(f"fdc: no procedure named {args.localize!r}",
+                  file=sys.stderr)
+            return 2
+        dists: dict[str, Distribution] = {}
+        for d in proc.decls:
+            key = (args.localize, d.name)
+            dist = cp.initial_dists.get(key)
+            if dist is None and d.is_array:
+                # formals: use any caller's distribution of that array
+                for (_p, a), dd in cp.initial_dists.items():
+                    if a == d.name:
+                        dist = dd
+                        break
+            if dist is not None:
+                dists[d.name] = dist
+        overlaps = {
+            arr: offs
+            for (p, arr), offs in cp.report.overlaps.items()
+        }
+        print(localized_procedure_text(proc, dists, overlaps))
+
+    if args.run:
+        res = cp.run(cost=COSTS[args.cost])
+        print(f"! {res.stats.summary()}")
+        for line in res.prints:
+            print(line)
+        if args.gather:
+            try:
+                data = res.gathered(args.gather)
+            except KeyError:
+                print(f"fdc: no array named {args.gather!r}",
+                      file=sys.stderr)
+                return 2
+            np.set_printoptions(precision=4, threshold=64)
+            print(f"{args.gather} = {data}")
+        if args.verify:
+            seq = run_sequential(parse(source))
+            ok = True
+            for name, arr in seq.arrays.items():
+                if name not in res.frames[0].arrays:
+                    continue
+                got = res.gathered(name)
+                same = np.allclose(got, arr.data)
+                ok &= same
+                print(f"! verify {name}: "
+                      f"{'OK' if same else 'MISMATCH'}")
+            if not ok:
+                return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,36 @@
+"""The interprocedural Fortran D compiler (the paper's contribution)."""
+
+from .driver import CompiledProgram, ProcedureCompiler, compile_program
+from .model import CompileError, Constraint, DecompSets, PendingComm, ProcExports
+from .localize import layout_summary, localized_procedure_text
+from .options import CompileReport, DynOpt, Mode, Options
+from .overlaps import (
+    OverlapEstimate,
+    estimate_overlaps,
+    local_offsets,
+    validate_overlaps,
+)
+from .recompile import RecompilationManager, source_fingerprint
+
+__all__ = [
+    "compile_program",
+    "CompiledProgram",
+    "ProcedureCompiler",
+    "Options",
+    "Mode",
+    "DynOpt",
+    "CompileReport",
+    "CompileError",
+    "Constraint",
+    "PendingComm",
+    "ProcExports",
+    "DecompSets",
+    "localized_procedure_text",
+    "layout_summary",
+    "estimate_overlaps",
+    "local_offsets",
+    "validate_overlaps",
+    "OverlapEstimate",
+    "RecompilationManager",
+    "source_fingerprint",
+]

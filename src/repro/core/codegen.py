@@ -1,0 +1,602 @@
+"""SPMD code generation (§3 step 7 + §5's interprocedural instantiation).
+
+The :class:`ProcedureCompiler` rewrites one procedure body in place:
+
+* reduces loop bounds / inserts guards per the partition plan;
+* builds and inserts vectorized ``send``/``recv``/``broadcast``
+  statements for the planned communication actions;
+* rewrites statements that fell back to run-time resolution into the
+  Figure 3 ownership-test pattern;
+* strips the Fortran D directives (their effect now lives in the initial
+  distribution table and in Remap statements);
+* prepends ``my$p = myproc()`` when the generated code uses it.
+
+Expression helpers generate the block/cyclic bound arithmetic of Figure 2
+(``ub$1 = min((my$p+1)*25, 95)`` and friends).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..analysis.rsd import RSD, Range
+from ..analysis.symbolics import fold
+from ..dist.distribution import DimDistribution
+from ..lang import ast as A
+from .communication import CommAction
+from .model import Constraint
+
+MYP = A.Var("my$p")
+
+
+def _n(v: int) -> A.Num:
+    return A.Num(v)
+
+
+# ---------------------------------------------------------------------------
+# bound / guard expression builders
+# ---------------------------------------------------------------------------
+
+
+def block_lb(dim: DimDistribution) -> A.Expr:
+    """First global index owned by my$p under a block distribution."""
+    return fold(A.add(_n(dim.lo), A.mul(MYP, _n(dim.block))))
+
+
+def block_ub(dim: DimDistribution) -> A.Expr:
+    """Last global index owned by my$p (clamped to the dimension)."""
+    raw = A.sub(A.add(_n(dim.lo), A.mul(A.add(MYP, _n(1)), _n(dim.block))),
+                _n(1))
+    return A.CallExpr("min", (fold(raw), _n(dim.hi)))
+
+
+def owner_rank_expr(dim: DimDistribution, sub: A.Expr) -> A.Expr:
+    """Rank of the owner of global index *sub* (rank-1 grids)."""
+    return fold(dim.owner_coord_expr(sub))
+
+
+def guard_expr(c: Constraint) -> A.Expr:
+    """``owner(sub) == my$p`` for the constraint's distribution."""
+    return A.BinOp("==", owner_rank_expr(c.dimdist, c.sub), MYP)
+
+
+def reduce_block_bounds(
+    loop: A.Do, c: Constraint
+) -> tuple[A.Expr, A.Expr, A.Expr]:
+    """Bounds reduction for a block distribution (Figure 2's ub$1).
+
+    The statement partitions on subscript ``i + off``; my$p owns global
+    indices ``[lb, ub]``, so the owned iterations are
+    ``[max(lo, lb - off), min(hi, ub_raw - off)]`` (program validity
+    keeps ``i + off`` inside the dimension, so the dim.hi clamp folds
+    into the loop's own upper bound).
+    """
+    dim = c.dimdist
+    lb = fold(A.sub(block_lb(dim), _n(c.off)))
+    ub_raw = fold(A.sub(
+        A.sub(A.add(_n(dim.lo), A.mul(A.add(MYP, _n(1)), _n(dim.block))),
+              _n(1)),
+        _n(c.off)))
+    lo = _simplify_max(A.CallExpr("max", (loop.lo, lb)))
+    hi = _simplify_minmax(A.CallExpr("min", (loop.hi, ub_raw)))
+    return lo, hi, loop.step
+
+
+def _simplify_max(e: A.Expr) -> A.Expr:
+    """``max(c, c' + k*my$p)`` with ``c' >= c`` and ``k >= 0`` is the
+    second argument (my$p >= 0); keeps generated bounds readable."""
+    if isinstance(e, A.CallExpr) and e.name == "max" and len(e.args) == 2:
+        a, b = e.args
+        if isinstance(a, A.Num):
+            base = _affine_in_myp(b)
+            if base is not None and base[0] >= a.value and base[1] >= 0:
+                return b
+    return _simplify_minmax(e)
+
+
+def _affine_in_myp(e: A.Expr) -> Optional[tuple[float, float]]:
+    """Recognize ``c + k * my$p`` (any association); returns (c, k)."""
+    if isinstance(e, A.Num):
+        return (e.value, 0)
+    if isinstance(e, A.Var) and e.name == "my$p":
+        return (0, 1)
+    if isinstance(e, A.BinOp) and e.op == "+":
+        l, r = _affine_in_myp(e.left), _affine_in_myp(e.right)
+        if l and r:
+            return (l[0] + r[0], l[1] + r[1])
+    if isinstance(e, A.BinOp) and e.op == "*":
+        if isinstance(e.left, A.Num):
+            r = _affine_in_myp(e.right)
+            if r:
+                return (e.left.value * r[0], e.left.value * r[1])
+        if isinstance(e.right, A.Num):
+            l = _affine_in_myp(e.left)
+            if l:
+                return (e.right.value * l[0], e.right.value * l[1])
+    return None
+
+
+def reduce_cyclic_bounds(
+    loop: A.Do, c: Constraint
+) -> tuple[A.Expr, A.Expr, A.Expr]:
+    """Bounds reduction for a cyclic distribution: first owned index at
+    or above lo, stride P."""
+    dim = c.dimdist
+    P = dim.nprocs
+    # i owned iff (i + off - dim.lo) mod P == my$p
+    # start = lo + pmod(my$p - (lo + off - dim.lo), P)
+    inner = A.sub(MYP, fold(A.sub(A.add(loop.lo, _n(c.off)), _n(dim.lo))))
+    start = fold(A.add(loop.lo, A.CallExpr("pmod", (fold(inner), _n(P)))))
+    return start, loop.hi, _n(P)
+
+
+def _simplify_minmax(e: A.Expr) -> A.Expr:
+    """Fold min/max with two numeric args."""
+    if isinstance(e, A.CallExpr) and e.name in ("min", "max") \
+            and len(e.args) == 2:
+        a, b = e.args
+        if isinstance(a, A.Num) and isinstance(b, A.Num):
+            v = min(a.value, b.value) if e.name == "min" else max(
+                a.value, b.value)
+            return A.Num(v)
+    return e
+
+
+def section_subs(section: RSD) -> list[A.Expr]:
+    """AST subscripts of a (possibly symbolic) section."""
+    subs: list[A.Expr] = []
+    for d in section.dims:
+        if isinstance(d, Range):
+            if d.lo == d.hi:
+                subs.append(_n(d.lo))
+            else:
+                subs.append(A.Triplet(
+                    _n(d.lo), _n(d.hi), _n(d.step) if d.step != 1 else None))
+        else:
+            if d.is_point:
+                subs.append(d.lo)
+            else:
+                subs.append(A.Triplet(d.lo, d.hi, d.step))
+    return subs
+
+
+# ---------------------------------------------------------------------------
+# communication statement construction
+# ---------------------------------------------------------------------------
+
+
+class TagAllocator:
+    """Unique message tags per communication point."""
+
+    def __init__(self) -> None:
+        self.next = 1
+
+    def take(self) -> int:
+        t = self.next
+        self.next += 1
+        return t
+
+
+def build_shift(action: CommAction, tags: TagAllocator) -> list[A.Stmt]:
+    """Nearest-neighbour exchange for a constant-offset access along the
+    distributed axis (Figure 2's guarded send/recv pair)."""
+    p = action.pending
+    dim = p.dimdist
+    P = dim.nprocs
+    delta = p.delta
+    tag = tags.take()
+    subs = section_subs(p.section)
+    origin = p.origin
+
+    if dim.kind == "block":
+        lb, ub = block_lb(dim), block_ub(dim)
+        if delta > 0:
+            send_axis = A.Triplet(
+                lb, _simplify_minmax(
+                    A.CallExpr("min", (fold(A.add(lb, _n(delta - 1))),
+                                       _n(dim.hi)))), None)
+            recv_axis = A.Triplet(
+                fold(A.add(ub, _n(1))),
+                _simplify_minmax(A.CallExpr(
+                    "min", (fold(A.add(ub, _n(delta))), _n(dim.hi)))), None)
+            send_guard = A.BinOp(">", MYP, _n(0))
+            recv_guard = A.BinOp("<", MYP, _n(P - 1))
+            send_to = fold(A.sub(MYP, _n(1)))
+            recv_from = fold(A.add(MYP, _n(1)))
+        else:
+            d = -delta
+            send_axis = A.Triplet(
+                fold(A.sub(ub, _n(d - 1))), ub, None)
+            recv_axis = A.Triplet(
+                A.CallExpr("max", (fold(A.sub(lb, _n(d))), _n(dim.lo))),
+                fold(A.sub(lb, _n(1))), None)
+            send_guard = A.BinOp("<", MYP, _n(P - 1))
+            recv_guard = A.BinOp(">", MYP, _n(0))
+            send_to = fold(A.add(MYP, _n(1)))
+            recv_from = fold(A.sub(MYP, _n(1)))
+    elif dim.kind == "cyclic":
+        if delta % P == 0:
+            return []
+        my_first = fold(A.add(_n(dim.lo), MYP))
+        their = A.CallExpr("pmod", (fold(A.add(MYP, _n(delta))), _n(P)))
+        their_first = fold(A.add(_n(dim.lo), their))
+        send_axis = A.Triplet(my_first, _n(dim.hi), _n(P))
+        recv_axis = A.Triplet(their_first, _n(dim.hi), _n(P))
+        send_guard = None
+        recv_guard = None
+        send_to = A.CallExpr("pmod", (fold(A.sub(MYP, _n(delta))), _n(P)))
+        recv_from = their
+    else:
+        raise NotImplementedError("block_cyclic shifts use run-time resolution")
+
+    send_subs = list(subs)
+    send_subs[p.axis] = send_axis
+    recv_subs = list(subs)
+    recv_subs[p.axis] = recv_axis
+    send = A.Send(p.array, send_subs, send_to, tag, comment=origin)
+    recv = A.Recv(p.array, recv_subs, recv_from, tag, comment=origin)
+    out: list[A.Stmt] = []
+    out.append(A.If(send_guard, [send], []) if send_guard else send)
+    out.append(A.If(recv_guard, [recv], []) if recv_guard else recv)
+    return out
+
+
+def build_bcast(action: CommAction, tags: TagAllocator) -> list[A.Stmt]:
+    """Broadcast of a single owner's slice to all processors."""
+    p = action.pending
+    root = owner_rank_expr(p.dimdist, p.at)
+    subs = section_subs(p.section)
+    return [A.Bcast(p.array, subs, root, tags.take(), comment=p.origin)]
+
+
+def build_pipeline(
+    action: CommAction, tags: TagAllocator
+) -> tuple[list[A.Stmt], list[A.Stmt]]:
+    """Coarse-grain pipelining of a first-order recurrence over a block
+    distribution: before its loop, each processor (except the first)
+    receives the last |delta| elements of its left neighbour's block;
+    after the loop, each (except the last) forwards its own finished
+    boundary.  Execution serializes as a wavefront — correct in the
+    presence of the carried dependence, and still one message per
+    neighbour pair instead of per-element run-time resolution."""
+    p = action.pending
+    dim = p.dimdist
+    P = dim.nprocs
+    d = -p.delta
+    tag = tags.take()
+    lb = block_lb(dim)
+    ub = block_ub(dim)
+    subs = section_subs(p.section)
+    recv_axis = A.Triplet(
+        A.CallExpr("max", (fold(A.sub(lb, _n(d))), _n(dim.lo))),
+        fold(A.sub(lb, _n(1))), None)
+    send_axis = A.Triplet(
+        A.CallExpr("max", (fold(A.sub(ub, _n(d - 1))), _n(dim.lo))),
+        ub, None)
+    recv_subs = list(subs)
+    recv_subs[p.axis] = recv_axis
+    send_subs = list(subs)
+    send_subs[p.axis] = send_axis
+    pre = [A.If(A.BinOp(">", MYP, _n(0)),
+                [A.Recv(p.array, recv_subs, fold(A.sub(MYP, _n(1))), tag,
+                        comment=p.origin)], [])]
+    post = [A.If(A.BinOp("<", MYP, _n(P - 1)),
+                 [A.Send(p.array, send_subs, fold(A.add(MYP, _n(1))), tag,
+                         comment=p.origin)], [])]
+    return pre, post
+
+
+def build_comm(action: CommAction, tags: TagAllocator) -> list[A.Stmt]:
+    if action.pending.kind == "shift":
+        return build_shift(action, tags)
+    if action.pending.kind == "bcast":
+        return build_bcast(action, tags)
+    raise NotImplementedError(action.pending.kind)
+
+
+def build_p2p_from_bcast(
+    action: CommAction, recv_constraint: Constraint, tags: TagAllocator
+) -> list[A.Stmt]:
+    """Immediate-instantiation variant (INTRA): when the executing set is
+    a single owner (the procedure is guarded by *recv_constraint*), a
+    broadcast degrades to one point-to-point message owner->executor
+    (Figure 12's per-call send/recv)."""
+    p = action.pending
+    tag = tags.take()
+    root = owner_rank_expr(p.dimdist, p.at)
+    dest = owner_rank_expr(recv_constraint.dimdist, recv_constraint.sub)
+    subs = section_subs(p.section)
+    send = A.If(
+        A.BinOp(".and.",
+                A.BinOp("==", root, MYP),
+                A.BinOp("/=", dest, MYP)),
+        [A.Send(p.array, list(subs), dest, tag, comment=p.origin)], [])
+    recv = A.If(
+        A.BinOp(".and.",
+                A.BinOp("==", dest, MYP),
+                A.BinOp("/=", root, MYP)),
+        [A.Recv(p.array, list(subs), root, tag, comment=p.origin)], [])
+    return [send, recv]
+
+
+def aggregate_messages(stmts: list[A.Stmt]) -> list[A.Stmt]:
+    """Message aggregation (§5.4): sends at the same program point with
+    the same guard and destination combine into one packed message (and
+    the matching receives into one packed receive).
+
+    Pairing across processors is by tag: each shift built its send/recv
+    pair with one tag, so a send group and a recv group with the same
+    tag set describe the same messages; parts are ordered by tag on both
+    sides so they pack and unpack identically.
+    """
+
+    def classify(s: A.Stmt):
+        cond = None
+        inner = s
+        if isinstance(s, A.If) and len(s.then_body) == 1 and not s.else_body:
+            cond = s.cond
+            inner = s.then_body[0]
+        if isinstance(inner, A.Send):
+            return ("send", cond, inner.dest, inner)
+        if isinstance(inner, A.Recv):
+            return ("recv", cond, inner.src, inner)
+        return None
+
+    def aggregate_run(run: list[A.Stmt]) -> list[A.Stmt]:
+        groups: dict[tuple, list[A.Stmt]] = {}
+        order: list[tuple] = []
+        for s in run:
+            kind, cond, peer, _inner = classify(s)
+            key = (kind, cond, peer)
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(s)
+        out: list[A.Stmt] = []
+        for key in order:
+            kind, cond, peer = key
+            members = groups[key]
+            if len(members) == 1:
+                out.append(members[0])
+                continue
+            inners = [classify(m)[3] for m in members]
+            inners.sort(key=lambda x: x.tag)
+            parts = [(x.array, list(x.subs)) for x in inners]
+            tag = inners[0].tag
+            comment = "aggregated: " + "; ".join(
+                x.comment for x in inners if x.comment
+            )
+            packed: A.Stmt
+            if kind == "send":
+                packed = A.SendPack(parts, peer, tag, comment)
+            else:
+                packed = A.RecvPack(parts, peer, tag, comment)
+            out.append(
+                A.If(cond, [packed], []) if cond is not None else packed
+            )
+        return out
+
+    # aggregate only within contiguous message runs so ordering against
+    # remaps/collectives at the same point is preserved
+    out: list[A.Stmt] = []
+    run: list[A.Stmt] = []
+    for s in stmts:
+        if classify(s) is not None:
+            run.append(s)
+        else:
+            if run:
+                out.extend(aggregate_run(run))
+                run = []
+            out.append(s)
+    if run:
+        out.extend(aggregate_run(run))
+    return out
+
+
+def order_sends_first(stmts: list[A.Stmt]) -> list[A.Stmt]:
+    """Within each contiguous run of message statements, move sends
+    ahead of receives (stable).  Sends are non-blocking on the simulated
+    machine, so send-first ordering is always deadlock-free, and it lets
+    independently generated exchanges (shifts, pipelines) interleave
+    safely at one program point."""
+
+    def kind_of(s: A.Stmt):
+        inner = s
+        if isinstance(s, A.If) and len(s.then_body) == 1 and not s.else_body:
+            inner = s.then_body[0]
+        if isinstance(inner, (A.Send, A.SendPack)):
+            return "send"
+        if isinstance(inner, (A.Recv, A.RecvPack)):
+            return "recv"
+        return None
+
+    out: list[A.Stmt] = []
+    run: list[A.Stmt] = []
+
+    def flush():
+        out.extend(x for x in run if kind_of(x) == "send")
+        out.extend(x for x in run if kind_of(x) == "recv")
+        run.clear()
+
+    for s in stmts:
+        if kind_of(s) is not None:
+            run.append(s)
+        else:
+            flush()
+            out.append(s)
+    flush()
+    return out
+
+
+# ---------------------------------------------------------------------------
+# run-time resolution rewriting (Figure 3)
+# ---------------------------------------------------------------------------
+
+
+def rtr_rewrite_if(
+    s: A.If,
+    distributed: set[str],
+    tags: TagAllocator,
+) -> list[A.Stmt]:
+    """Run-time resolution of a branch whose condition reads distributed
+    elements: each element is broadcast from its (run-time) owner right
+    before the branch, so every processor evaluates the same condition.
+    Returns only the broadcasts — the caller inserts them *before* the
+    branch (so statements nested in the branch still receive their own
+    rewriting).  Collective: legal only where all processors execute
+    (the driver verifies the context is unpartitioned)."""
+    out: list[A.Stmt] = []
+    for r in A.walk_exprs(s.cond):
+        if isinstance(r, A.ArrayRef) and r.name in distributed:
+            out.append(A.Bcast(
+                r.name, list(r.subs), A.CallExpr("owner", (r,)),
+                tags.take(), comment="rtr cond",
+            ))
+    return out
+
+
+def rtr_rewrite_assign(
+    s: A.Assign,
+    distributed: set[str],
+    tags: TagAllocator,
+) -> list[A.Stmt]:
+    """Rewrite an assignment into the run-time resolution pattern: the
+    owner of each distributed rhs element sends it to the owner of the
+    lhs, which alone executes the assignment."""
+
+    def owner_of(ref: A.ArrayRef) -> A.Expr:
+        return A.CallExpr("owner", (ref,))
+
+    reads = [
+        r for r in A.walk_exprs(s.expr)
+        if isinstance(r, A.ArrayRef) and r.name in distributed
+    ]
+    if isinstance(s.target, A.ArrayRef):
+        for sub in s.target.subs:
+            reads += [
+                r for r in A.walk_exprs(sub)
+                if isinstance(r, A.ArrayRef) and r.name in distributed
+            ]
+    lhs_distributed = (
+        isinstance(s.target, A.ArrayRef) and s.target.name in distributed
+    )
+    out: list[A.Stmt] = []
+    if lhs_distributed:
+        lhs_owner = owner_of(s.target)
+        recvs: list[A.Stmt] = []
+        for r in reads:
+            tag = tags.take()
+            r_owner = owner_of(r)
+            out.append(A.If(
+                A.BinOp(".and.",
+                        A.BinOp("==", MYP, r_owner),
+                        A.BinOp("/=", MYP, lhs_owner)),
+                [A.Send(r.name, list(r.subs), lhs_owner, tag,
+                        comment="rtr")], []))
+            recvs.append(A.If(
+                A.BinOp("/=", MYP, r_owner),
+                [A.Recv(r.name, list(r.subs), r_owner, tag,
+                        comment="rtr")], []))
+        out.append(A.If(
+            A.BinOp("==", MYP, lhs_owner),
+            recvs + [A.Assign(s.target, s.expr, s.label)], []))
+        return out
+    # replicated lhs: every processor needs the distributed elements
+    for r in reads:
+        out.append(A.Bcast(r.name, list(r.subs), owner_of(r), tags.take(),
+                           comment="rtr"))
+    out.append(A.Assign(s.target, s.expr, s.label))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# body rewriting
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RewritePlan:
+    """Everything the body rewriter needs, keyed by statement identity."""
+
+    loop_reduce: dict[int, Constraint] = field(default_factory=dict)
+    guard_stmt: dict[int, Constraint] = field(default_factory=dict)
+    #: id(anchor stmt) -> comm statements to insert before it
+    insert_before: dict[int, list[A.Stmt]] = field(default_factory=dict)
+    #: id(anchor stmt) -> statements to insert after it (remap restores)
+    insert_after: dict[int, list[A.Stmt]] = field(default_factory=dict)
+    #: comm statements to prepend at the top of the body
+    prepend: list[A.Stmt] = field(default_factory=list)
+    #: id(stmt) -> replacement statement list (RTR rewrites, remaps)
+    replace: dict[int, list[A.Stmt]] = field(default_factory=dict)
+    drop_directives: bool = True
+
+
+def rewrite_body(body: list[A.Stmt], plan: RewritePlan) -> list[A.Stmt]:
+    out: list[A.Stmt] = list(plan.prepend)
+    for s in body:
+        sid = id(s)
+        out.extend(plan.insert_before.get(sid, ()))
+        if sid in plan.replace:
+            out.extend(plan.replace[sid])
+            continue
+        if plan.drop_directives and isinstance(
+            s, (A.Decomposition, A.Align, A.Distribute)
+        ):
+            continue
+        if isinstance(s, A.Do):
+            s.body = rewrite_body(s.body, _nested(plan))
+            if sid in plan.loop_reduce:
+                c = plan.loop_reduce[sid]
+                if c.dimdist.kind == "block":
+                    s.lo, s.hi, s.step = reduce_block_bounds(s, c)
+                else:
+                    s.lo, s.hi, s.step = reduce_cyclic_bounds(s, c)
+        elif isinstance(s, A.DoWhile):
+            s.body = rewrite_body(s.body, _nested(plan))
+        elif isinstance(s, A.If):
+            s.then_body = rewrite_body(s.then_body, _nested(plan))
+            s.else_body = rewrite_body(s.else_body, _nested(plan))
+        if sid in plan.guard_stmt:
+            out.append(A.If(guard_expr(plan.guard_stmt[sid]), [s], []))
+        else:
+            out.append(s)
+        out.extend(plan.insert_after.get(sid, ()))
+    return out
+
+
+def _nested(plan: RewritePlan) -> RewritePlan:
+    inner = RewritePlan(
+        loop_reduce=plan.loop_reduce,
+        guard_stmt=plan.guard_stmt,
+        insert_before=plan.insert_before,
+        insert_after=plan.insert_after,
+        prepend=[],
+        replace=plan.replace,
+        drop_directives=plan.drop_directives,
+    )
+    return inner
+
+
+def uses_myproc(body: list[A.Stmt]) -> bool:
+    for e in A.walk_all_exprs(body):
+        if isinstance(e, A.Var) and e.name == "my$p":
+            return True
+    for s in A.walk_stmts(body):
+        if isinstance(s, (A.Send, A.Recv, A.Bcast)):
+            for e in list(s.subs) + [
+                getattr(s, "dest", None), getattr(s, "src", None),
+                getattr(s, "root", None),
+            ]:
+                if e is None:
+                    continue
+                for x in A.walk_exprs(e):
+                    if isinstance(x, A.Var) and x.name == "my$p":
+                        return True
+    return False
+
+
+def ensure_myproc(proc: A.Procedure) -> None:
+    if uses_myproc(proc.body):
+        if not any(isinstance(s, A.SetMyProc) for s in proc.body[:2]):
+            proc.body.insert(0, A.SetMyProc())

@@ -1,0 +1,126 @@
+"""Localization: Figure-2-style node code with local index spaces.
+
+The executable node programs this compiler emits run in *global* index
+space (DESIGN.md §4.2): ownership is enforced by reduced bounds and
+guards, and every node allocates full-size arrays.  The paper's figures,
+however, show the classical presentation — array declarations shrunk to
+the local block plus overlap ("REAL X(30)"), loops running over local
+indices ("do i = 1, ub$1").
+
+This module derives that presentation for BLOCK-distributed dimensions:
+given a compiled procedure and its distributions/overlaps, it rewrites a
+*display copy* with local declarations and loop bounds, including the
+overlap extension of §5.6 and, optionally, the parameterized overlaps of
+Figure 14 (bounds passed as extra formal parameters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dist import Distribution
+from ..lang import ast as A
+from ..lang.printer import procedure_str
+
+
+@dataclass
+class LocalLayout:
+    """Local shape of one BLOCK-distributed array on one node."""
+
+    array: str
+    axis: int                    # the distributed axis
+    block: int                   # block length
+    lo_overlap: int              # overlap extension below the block
+    hi_overlap: int              # overlap extension above
+
+
+def local_declaration(
+    decl: A.Decl, dist: Distribution, overlaps: list[tuple[int, int]]
+) -> A.Decl:
+    """Shrink a declaration to the per-node block plus overlap regions
+    (Figure 2: ``REAL X(100)`` with overlap 5 becomes ``REAL X(30)``)."""
+    dims: list[tuple[A.Expr, A.Expr]] = []
+    for axis, (lo_e, hi_e) in enumerate(decl.dims):
+        dim = dist.dims[axis]
+        if dim.kind == "block":
+            lo_off, hi_off = overlaps[axis] if axis < len(overlaps) else (0, 0)
+            length = dim.block + hi_off - lo_off
+            dims.append((A.Num(1), A.Num(length)))
+        else:
+            dims.append((lo_e, hi_e))
+    return A.Decl(decl.type, decl.name, dims)
+
+
+def parameterized_declaration(decl: A.Decl, dist: Distribution) -> tuple[
+    A.Decl, list[str]
+]:
+    """Figure 14: overlap extents as run-time bounds — the declaration
+    becomes ``REAL X(Xlo:Xhi)`` and the bounds join the formal list."""
+    dims: list[tuple[A.Expr, A.Expr]] = []
+    extra: list[str] = []
+    for axis, (lo_e, hi_e) in enumerate(decl.dims):
+        dim = dist.dims[axis]
+        if dim.kind == "block":
+            lo_name = f"{decl.name}lo{axis + 1}" if decl.rank > 1 \
+                else f"{decl.name}lo"
+            hi_name = f"{decl.name}hi{axis + 1}" if decl.rank > 1 \
+                else f"{decl.name}hi"
+            dims.append((A.Var(lo_name), A.Var(hi_name)))
+            extra += [lo_name, hi_name]
+        else:
+            dims.append((lo_e, hi_e))
+    return A.Decl(decl.type, decl.name, dims), extra
+
+
+def localized_procedure_text(
+    proc: A.Procedure,
+    dists: dict[str, Distribution],
+    overlaps: dict[str, list[tuple[int, int]]],
+    parameterized: bool = False,
+) -> str:
+    """Render *proc* with local-index declarations (display only).
+
+    Loops that were bounds-reduced keep their generated expressions —
+    which already read like Figure 2's ``ub$1`` arithmetic — while array
+    declarations shrink to block+overlap (or gain run-time bounds when
+    *parameterized*).
+    """
+    display = A.clone_procedure(proc)
+    extra_formals: list[str] = []
+    new_decls: list[A.Decl] = []
+    for d in display.decls:
+        dist = dists.get(d.name)
+        if d.is_array and dist is not None and not dist.is_replicated \
+                and all(x.kind in ("block", "none") for x in dist.dims):
+            ov = overlaps.get(d.name, [(0, 0)] * d.rank)
+            if parameterized and d.name in display.formals:
+                nd, extra = parameterized_declaration(d, dist)
+                new_decls.append(nd)
+                extra_formals += extra
+                continue
+            new_decls.append(local_declaration(d, dist, ov))
+        else:
+            new_decls.append(d)
+    display.decls = new_decls
+    for name in extra_formals:
+        display.formals.append(name)
+        display.decls.append(A.Decl("integer", name, []))
+    return procedure_str(display)
+
+
+def layout_summary(
+    dists: dict[str, Distribution],
+    overlaps: dict[str, list[tuple[int, int]]],
+) -> list[LocalLayout]:
+    """Per-array local layouts (asserted by the overlap tests)."""
+    out: list[LocalLayout] = []
+    for name, dist in dists.items():
+        if dist is None or dist.is_replicated:
+            continue
+        for axis, dim in enumerate(dist.dims):
+            if dim.kind != "block":
+                continue
+            ov = overlaps.get(name, [(0, 0)] * len(dist.dims))
+            lo, hi = ov[axis] if axis < len(ov) else (0, 0)
+            out.append(LocalLayout(name, axis, dim.block, lo, hi))
+    return out

@@ -1,0 +1,131 @@
+"""Shared data model of the interprocedural compilation passes.
+
+Everything a procedure exports to its callers when compiled in reverse
+topological order (§5's "collect ... for callers") lives in
+:class:`ProcExports`:
+
+* the *delayed computation partition* — uniform iteration-set
+  constraints on formal parameters (§5.3);
+* the *delayed communication* — nonlocal index sets not yet instantiated
+  (§5.4);
+* interprocedural RSD summaries of array writes/reads (used for
+  dependence testing at call sites);
+* the dynamic-decomposition summary sets DecompUse/Kill/Before/After
+  (§6.1);
+* overlap offsets (§5.6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..analysis.rsd import RSD
+from ..dist import Distribution
+from ..dist.distribution import DimDistribution
+from ..lang import ast as A
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """One iteration-set constraint: "execute only where
+    ``owner_coord(sub) == my$p`` on the (single) distributed axis".
+
+    ``var``/``off`` describe the affine form ``var + off`` when the
+    subscript is loop/formal-affine; ``sub`` is the full expression used
+    for guard generation.
+    """
+
+    dimdist: DimDistribution
+    sub: A.Expr
+    var: Optional[str]
+    off: int
+
+    def shifted_to(self, new_sub: A.Expr, new_var: Optional[str]) -> "Constraint":
+        return Constraint(self.dimdist, new_sub, new_var, self.off)
+
+
+@dataclass
+class PendingComm:
+    """A nonlocal index set whose instantiation is delayed (§5.4).
+
+    ``section`` is in the owning procedure's terms (formals symbolic).
+    ``kind``:
+      * ``shift`` — nearest-neighbour pattern: data at distance ``delta``
+        in the distributed axis of the executing processor's own set;
+      * ``bcast`` — a single owner's slice needed by all executing
+        processors; ``at`` is the distributed-axis subscript expression.
+    """
+
+    array: str
+    kind: str                     # "shift" | "bcast"
+    axis: int                     # distributed array axis
+    dimdist: DimDistribution
+    section: RSD
+    delta: int = 0                # for shift
+    at: Optional[A.Expr] = None   # for bcast
+    origin: str = ""              # provenance, for reports/tests
+
+    def describe(self) -> str:
+        if self.kind in ("shift", "pipeline"):
+            return (f"{self.kind}({self.delta}) {self.array}{self.section} "
+                    f"[{self.origin}]")
+        from ..lang.printer import expr_str
+
+        return (f"bcast@{expr_str(self.at)} {self.array}{self.section} "
+                f"[{self.origin}]")
+
+
+@dataclass
+class DecompSets:
+    """§6.1 summary sets, in the procedure's own (formal) terms.
+
+    ``after[X] is None`` means "restore the caller's inherited
+    decomposition" (the callee cannot know which one that is — exactly
+    why instantiation is delayed to the caller).
+    """
+
+    use: set[str] = field(default_factory=set)
+    kill: set[str] = field(default_factory=set)
+    #: array -> distribution it must have before invoking the procedure
+    before: dict[str, Distribution] = field(default_factory=dict)
+    #: array -> distribution to restore after the procedure returns
+    #: (None = the caller's own current distribution)
+    after: dict[str, Optional[Distribution]] = field(default_factory=dict)
+    #: array -> distribution the array actually has when the procedure
+    #: returns (statically known cases only)
+    exit: dict[str, Optional[Distribution]] = field(default_factory=dict)
+    #: arrays whose first access in the procedure overwrites every
+    #: element before any read (array-kill analysis, §6.3)
+    full_kill: set[str] = field(default_factory=set)
+
+
+@dataclass
+class ProcExports:
+    """Everything a compiled procedure passes up to its callers."""
+
+    name: str
+    #: the uniform procedure-level constraint (owner-computes over a
+    #: formal parameter) whose instantiation is delayed to callers
+    constraint: Optional[Constraint] = None
+    #: delayed nonlocal index sets
+    pending: list[PendingComm] = field(default_factory=list)
+    #: array -> write RSD summaries (formal terms)
+    writes: dict[str, list[RSD]] = field(default_factory=dict)
+    #: array -> read RSD summaries (formal terms)
+    reads: dict[str, list[RSD]] = field(default_factory=dict)
+    decomp: DecompSets = field(default_factory=DecompSets)
+    #: array -> per-axis (lo_off, hi_off) overlap offsets
+    overlap_offsets: dict[str, list[tuple[int, int]]] = field(
+        default_factory=dict
+    )
+
+    def add_write(self, array: str, section: RSD) -> None:
+        self.writes.setdefault(array, []).append(section)
+
+    def add_read(self, array: str, section: RSD) -> None:
+        self.reads.setdefault(array, []).append(section)
+
+
+class CompileError(Exception):
+    """Input outside the compilable subset with no safe fallback."""

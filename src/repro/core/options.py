@@ -1,0 +1,89 @@
+"""Compiler options and compilation modes.
+
+The three modes are the paper's comparison axes:
+
+* ``RTR``   — run-time resolution everywhere (Figure 3): every reference
+  is guarded by ownership tests and nonlocal elements move in individual
+  messages.  The no-information baseline.
+* ``INTRA`` — compile-time intraprocedural compilation with *immediate
+  instantiation* at procedure boundaries (Figure 12): decompositions are
+  known (as if supplied by interface blocks), but the computation
+  partition and communication are instantiated inside each procedure, so
+  no optimization crosses a call boundary (§5.5).
+* ``INTER`` — full interprocedural compilation (Figure 10): reaching
+  decompositions, cloning, and delayed instantiation of partition,
+  communication, and dynamic data decomposition.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Mode(enum.Enum):
+    RTR = "rtr"
+    INTRA = "intra"
+    INTER = "inter"
+
+
+class DynOpt(enum.IntEnum):
+    """Dynamic data decomposition optimization levels (Figure 16 a-d)."""
+
+    NONE = 0          # remap before/after every call (16a)
+    LIVE = 1          # + live decompositions: dead remaps removed,
+                      #   identical live remaps coalesced (16b)
+    HOIST = 2         # + loop-invariant decompositions hoisted (16c)
+    KILLS = 3         # + array kills: remap dead arrays in place (16d)
+
+
+@dataclass
+class Options:
+    """Knobs of one compilation."""
+
+    nprocs: int = 4
+    mode: Mode = Mode.INTER
+    dynopt: DynOpt = DynOpt.KILLS
+    #: master switches for ablation benches (INTER mode only)
+    delay_communication: bool = True
+    delay_partition: bool = True
+    enable_cloning: bool = True
+    #: abort cloning when program grows beyond this factor (§5.2:
+    #: "cloning may be disabled when a threshold program growth has been
+    #: exceeded, forcing run-time resolution instead")
+    clone_growth_limit: float = 8.0
+    #: emit parameterized overlap bounds (Figure 14) in localized output
+    parameterized_overlaps: bool = False
+    #: collect human-readable notes about decisions taken
+    verbose_notes: bool = True
+
+    def notes_sink(self) -> list[str]:
+        return []
+
+
+@dataclass
+class CompileReport:
+    """What the compiler did — asserted by tests and shown by examples."""
+
+    mode: Mode = Mode.INTER
+    nprocs: int = 0
+    cloned: dict[str, list[str]] = field(default_factory=dict)
+    #: procedure -> array -> distribution string
+    distributions: dict[str, dict[str, str]] = field(default_factory=dict)
+    #: messages vectorized at each placement (for inspection)
+    comm_placements: list[str] = field(default_factory=list)
+    #: arrays that fell back to run-time resolution, with reasons
+    rtr_fallbacks: list[str] = field(default_factory=list)
+    #: remap statements emitted / eliminated / hoisted / marked
+    remaps_emitted: int = 0
+    remaps_eliminated: int = 0
+    remaps_hoisted: int = 0
+    remaps_marked: int = 0
+    #: overlap extents per (procedure, array): list of (lo_off, hi_off)
+    overlaps: dict[tuple[str, str], list[tuple[int, int]]] = field(
+        default_factory=dict
+    )
+    notes: list[str] = field(default_factory=list)
+
+    def note(self, msg: str) -> None:
+        self.notes.append(msg)

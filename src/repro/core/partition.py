@@ -1,0 +1,323 @@
+"""Data and computation partitioning (§5.3, Figure 9).
+
+Data partitioning turns reaching decompositions into a distribution
+function per array.  Computation partitioning applies the owner-computes
+rule to every assignment, yielding one :class:`Constraint` per statement
+(rank-1 processor grids: exactly one distributed axis per array).
+
+The *delayed instantiation* logic lives in :func:`plan_blocks`: the
+compiler first forms the union of iteration sets; bounds are reduced for
+local loops whose work items all agree, guards are introduced only where
+items disagree, and a procedure-uniform constraint on a formal parameter
+is **exported to callers** instead of being instantiated locally (INTER
+mode), which is what lets the caller reduce its own loop bounds (the
+``j`` loop of Figure 10) or merge guards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..analysis.symbolics import affine_of
+from ..dist import TOP, Distribution
+from ..lang import ast as A
+from .model import Constraint
+from .options import Mode, Options
+from .reaching import ProcReaching
+
+
+@dataclass
+class ArrayInfo:
+    """Resolved per-array placement within one procedure."""
+
+    name: str
+    dist: Optional[Distribution]  # None -> replicated / scalar
+    axis: int = -1                # the single distributed axis (or -1)
+
+    @property
+    def distributed(self) -> bool:
+        return self.dist is not None and not self.dist.is_replicated
+
+
+@dataclass
+class PartitionPlan:
+    """Computation-partition decisions for one procedure."""
+
+    arrays: dict[str, ArrayInfo] = field(default_factory=dict)
+    rtr_arrays: dict[str, str] = field(default_factory=dict)  # name -> why
+    #: id(Assign/Call stmt) -> owner-computes constraint (None = replicated)
+    stmt_constraint: dict[int, Optional[Constraint]] = field(
+        default_factory=dict
+    )
+    #: id(Do stmt) -> constraint absorbed by bounds reduction
+    loop_reduce: dict[int, Constraint] = field(default_factory=dict)
+    #: id(stmt) -> constraint to wrap in a guard
+    guard_stmt: dict[int, Constraint] = field(default_factory=dict)
+    #: uniform constraint exported to callers (INTER, non-main)
+    export: Optional[Constraint] = None
+    #: statements forced to run-time resolution, with reasons
+    rtr_stmts: dict[int, str] = field(default_factory=dict)
+    #: id(Assign stmt) -> recognized reduction (see core.reductions)
+    reductions: dict[int, object] = field(default_factory=dict)
+
+
+def resolve_arrays(
+    proc: A.Procedure,
+    reaching: ProcReaching,
+    opts: Options,
+) -> tuple[dict[str, ArrayInfo], dict[str, str]]:
+    """Data partitioning: a unique Distribution per array, or a run-time
+    resolution fallback reason."""
+    arrays: dict[str, ArrayInfo] = {}
+    rtr: dict[str, str] = {}
+    using_stmts = _array_using_statements(proc)
+    for d in proc.decls:
+        if not d.is_array:
+            continue
+        dists: set = set()
+        for s in using_stmts.get(d.name, ()):
+            dists |= reaching.dists_of(d.name, s)
+        if not dists:
+            arrays[d.name] = ArrayInfo(d.name, None)
+            continue
+        if TOP in dists:
+            rtr[d.name] = "decomposition unknown at some use (TOP)"
+            arrays[d.name] = ArrayInfo(d.name, None)
+            continue
+        concrete = {dd for dd in dists if isinstance(dd, Distribution)}
+        if len(concrete) > 1:
+            rtr[d.name] = (
+                f"multiple reaching decompositions "
+                f"{sorted(str(x) for x in concrete)}"
+            )
+            arrays[d.name] = ArrayInfo(d.name, None)
+            continue
+        dist = next(iter(concrete))
+        axes = dist.distributed_axes()
+        if len(axes) > 1:
+            rtr[d.name] = "more than one distributed dimension"
+            arrays[d.name] = ArrayInfo(d.name, None)
+            continue
+        info = ArrayInfo(d.name, dist, axes[0] if axes else -1)
+        arrays[d.name] = info
+    return arrays, rtr
+
+
+def owner_constraint(
+    info: ArrayInfo,
+    subs: tuple[A.Expr, ...],
+    env: dict,
+) -> Optional[Constraint]:
+    """Owner-computes constraint of an assignment to ``info``'s array."""
+    if not info.distributed:
+        return None
+    sub = subs[info.axis]
+    aff = affine_of(sub, env)
+    if aff is None:
+        raise UnsupportedSubscript(sub)
+    dim = info.dist.dims[info.axis]
+    return Constraint(dim, sub, aff.var, aff.offset)
+
+
+def _array_using_statements(
+    proc: A.Procedure,
+) -> dict[str, list[A.Stmt]]:
+    """Statements referencing each array (element refs or whole-array
+    actual arguments) — the points whose reaching decompositions define
+    the array's compile-time distribution."""
+    out: dict[str, list[A.Stmt]] = {}
+    arrays = {d.name for d in proc.decls if d.is_array}
+    for s in A.walk_stmts(proc.body):
+        if isinstance(s, (A.Distribute, A.Align, A.Decomposition)):
+            continue
+        names: set[str] = set()
+        for e in A.stmt_exprs(s):
+            for x in A.walk_exprs(e):
+                if isinstance(x, (A.ArrayRef, A.Var)) and x.name in arrays:
+                    names.add(x.name)
+        for n in names:
+            out.setdefault(n, []).append(s)
+    return out
+
+
+class UnsupportedSubscript(Exception):
+    """Subscript outside the compiled affine subset."""
+
+    def __init__(self, sub: A.Expr) -> None:
+        from ..lang.printer import expr_str
+
+        super().__init__(expr_str(sub))
+        self.sub = sub
+
+
+# ---------------------------------------------------------------------------
+# Iteration-set planning over the statement tree
+# ---------------------------------------------------------------------------
+
+_SELF = "self"
+_ALL = "all"
+
+
+@dataclass
+class _Item:
+    status: str
+    constraint: Optional[Constraint] = None
+
+
+def _same(a: Constraint, b: Constraint) -> bool:
+    return (
+        a.dimdist == b.dimdist
+        and a.var == b.var
+        and a.off == b.off
+        and a.var is not None
+    )
+
+
+def plan_blocks(
+    proc: A.Procedure,
+    plan: PartitionPlan,
+    opts: Options,
+    env: dict,
+    is_main: bool,
+    allow_export: bool = True,
+) -> None:
+    """Decide bounds reduction vs guards vs export for every constraint.
+
+    Implements the Figure 9 algorithm: constraints bubble outward while
+    every sibling work item agrees; a loop whose items all partition on
+    its own index gets bounds reduction; disagreement instantiates guards
+    at that level; a constraint that bubbles out of the whole body of a
+    non-main procedure is exported (delayed instantiation).
+    """
+
+    def visit_block(body: list[A.Stmt]) -> _Item:
+        items: list[tuple[A.Stmt, _Item]] = []
+        for s in body:
+            it = visit_stmt(s)
+            if it is not None:
+                items.append((s, it))
+        return combine(items)
+
+    def combine(items: list[tuple[A.Stmt, _Item]]) -> _Item:
+        selfs = [(s, it) for s, it in items if it.status == _SELF]
+        if not selfs:
+            return _Item(_ALL)
+        first = selfs[0][1].constraint
+        uniform = all(
+            _same(it.constraint, first) for _, it in selfs
+        ) and len(selfs) == len(items)
+        if uniform and first is not None and first.var is not None:
+            return _Item(_SELF, first)
+        # disagreement: guard each self item here
+        for s, it in selfs:
+            plan.guard_stmt[id(s)] = it.constraint
+        return _Item(_ALL)
+
+    def visit_stmt(s: A.Stmt) -> Optional[_Item]:
+        sid = id(s)
+        if isinstance(s, (A.Assign, A.Call)):
+            c = plan.stmt_constraint.get(sid)
+            if sid in plan.rtr_stmts:
+                return _Item(_ALL)  # run-time resolution handles itself
+            if c is None:
+                return _Item(_ALL)
+            if c.var is None:
+                # constant-subscript owner: guard immediately
+                plan.guard_stmt[sid] = c
+                return _Item(_ALL)
+            return _Item(_SELF, c)
+        if isinstance(s, A.Do):
+            inner = visit_block(s.body)
+            if inner.status == _SELF:
+                c = inner.constraint
+                if c.var == s.var:
+                    if _reducible(s, c):
+                        plan.loop_reduce[id(s)] = c
+                        return _Item(_ALL)
+                    _guard_items(s.body, c)
+                    return _Item(_ALL)
+                if c.var in _defined_vars(s.body) or c.var == s.var:
+                    _guard_items(s.body, c)
+                    return _Item(_ALL)
+                return _Item(_SELF, c)  # invariant: keep bubbling
+            return _Item(_ALL)
+        if isinstance(s, A.DoWhile):
+            inner = visit_block(s.body)
+            if inner.status == _SELF:
+                _guard_items(s.body, inner.constraint)
+            return _Item(_ALL)
+        if isinstance(s, A.If):
+            then_it = visit_block(s.then_body)
+            else_it = visit_block(s.else_body) if s.else_body else None
+            branches = [(s.then_body, then_it)]
+            if else_it is not None:
+                branches.append((s.else_body, else_it))
+            cs = [it.constraint for _b, it in branches if it.status == _SELF]
+            if cs and len(cs) == len(branches) and all(
+                _same(c, cs[0]) for c in cs
+            ):
+                return _Item(_SELF, cs[0])
+            for b, it in branches:
+                if it.status == _SELF:
+                    _guard_items(b, it.constraint)
+            return _Item(_ALL)
+        if isinstance(s, (A.Distribute, A.Align, A.Decomposition)):
+            return None
+        return _Item(_ALL)
+
+    def _guard_items(body: list[A.Stmt], c: Constraint) -> None:
+        """Place guards on the constraint-bearing items of a block whose
+        constraint could not be absorbed."""
+        for s in body:
+            sid = id(s)
+            if sid in plan.loop_reduce or sid in plan.guard_stmt:
+                continue
+            if isinstance(s, (A.Assign, A.Call)):
+                sc = plan.stmt_constraint.get(sid)
+                if sc is not None and sc.var is not None:
+                    plan.guard_stmt[sid] = sc
+            elif isinstance(s, (A.Do, A.DoWhile)):
+                # guard the whole loop once: the constraint is invariant
+                plan.guard_stmt[sid] = c
+            elif isinstance(s, A.If):
+                _guard_items(s.then_body, c)
+                _guard_items(s.else_body, c)
+
+    def _reducible(loop: A.Do, c: Constraint) -> bool:
+        if c.dimdist.kind == "block":
+            return loop.step == A.ONE
+        if c.dimdist.kind == "cyclic":
+            return loop.step == A.ONE
+        return False  # block_cyclic: guards
+
+    def _defined_vars(body: list[A.Stmt]) -> set[str]:
+        out: set[str] = set()
+        for s in A.walk_stmts(body):
+            if isinstance(s, A.Do):
+                out.add(s.var)
+            elif isinstance(s, A.Assign) and isinstance(s.target, A.Var):
+                out.add(s.target.name)
+        return out
+
+    top = visit_block(proc.body)
+    if top.status == _SELF:
+        c = top.constraint
+        exportable = (
+            allow_export
+            and not is_main
+            and opts.mode is Mode.INTER
+            and opts.delay_partition
+            # communication that is *not* delayed must be instantiated
+            # where the executing set is locally known: if the partition
+            # were exported, a locally placed point-to-point transfer's
+            # sender might never execute (its owner doesn't call the
+            # procedure once the caller reduces its loop).  The paper's
+            # "delayed instantiation" covers both together.
+            and opts.delay_communication
+            and c.var in proc.formals
+        )
+        if exportable:
+            plan.export = c
+        else:
+            _guard_items(proc.body, c)

@@ -1,0 +1,263 @@
+"""Reaching decompositions (§5.2, Figures 6-7).
+
+The compiler must know the data decomposition of every array at every
+reference.  Locally this is a reaching-definitions-style forward problem
+(each DISTRIBUTE is a "definition" of the arrays it affects);
+interprocedurally it is solved in **one top-down pass** because Fortran D
+scoping guarantees a callee's redistributions are undone on return, so a
+procedure's reaching decompositions depend only on its callers.
+
+Facts are ``(array name, Distribution | TOP)`` pairs; ``TOP`` is the
+placeholder for "inherited from caller" that interprocedural propagation
+later expands (the ``<⊤, V>`` elements of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from ..analysis.dataflow import solve
+from ..callgraph.acg import ACG, CallSite
+from ..dist import TOP, DirectiveTable, Distribution
+from ..dist.decomposition import _Top
+from ..ir.cfg import CFG
+from ..lang import ast as A
+from .options import Options
+
+DistOrTop = Union[Distribution, _Top]
+Fact = tuple[str, "DistOrTop"]
+
+
+class ReachingError(Exception):
+    """Unresolvable decomposition structure."""
+
+
+@dataclass
+class ProcReaching:
+    """Reaching-decompositions results for one procedure."""
+
+    name: str
+    cfg: CFG
+    #: facts entering the procedure (formal arrays start at TOP until
+    #: interprocedural propagation fills them in)
+    entry: frozenset[Fact] = frozenset()
+    #: per call site id: facts at the call, translated to callee formals
+    local_reaching: dict[int, frozenset[Fact]] = field(default_factory=dict)
+    #: per statement (id of the AST node): facts reaching it
+    at_stmt: dict[int, frozenset[Fact]] = field(default_factory=dict)
+    #: the directive table (decomps/aligns declared in this procedure)
+    table: DirectiveTable | None = None
+
+    def dists_of(self, array: str, stmt: A.Stmt) -> set[DistOrTop]:
+        facts = self.at_stmt.get(id(stmt), frozenset())
+        return {d for (n, d) in facts if n == array}
+
+    def reaching_dists(self, array: str) -> set[DistOrTop]:
+        """Union of distributions reaching any use of *array*."""
+        out: set[DistOrTop] = set()
+        for facts in self.at_stmt.values():
+            out |= {d for (n, d) in facts if n == array}
+        return out
+
+
+def build_directive_table(proc: A.Procedure) -> DirectiveTable:
+    arrays = {d.name: d.rank for d in proc.decls if d.is_array}
+    table = DirectiveTable(arrays)
+    for s in A.walk_stmts(proc.body):
+        if isinstance(s, A.Decomposition):
+            table.add_decomposition(s)
+        elif isinstance(s, A.Align):
+            table.add_align(s)
+    return table
+
+
+def _array_bounds(proc: A.Procedure, name: str,
+                  param_env: dict) -> list[tuple[int, int]] | None:
+    """Constant declared bounds of an array, or None when symbolic."""
+    from ..analysis.symbolics import eval_int
+
+    d = proc.decl(name)
+    if d is None:
+        return None
+    out = []
+    for lo_e, hi_e in d.dims:
+        lo = eval_int(lo_e, param_env)
+        hi = eval_int(hi_e, param_env)
+        if lo is None or hi is None:
+            return None
+        out.append((lo, hi))
+    return out
+
+
+def _param_env(proc: A.Procedure) -> dict:
+    from ..analysis.symbolics import eval_const
+
+    env: dict = {}
+    for p in proc.params:
+        v = eval_const(p.value, env)
+        if v is not None:
+            env[p.name] = v
+    return env
+
+
+def analyze_procedure(
+    proc: A.Procedure,
+    opts: Options,
+    entry: frozenset[Fact] | None = None,
+    const_env: dict | None = None,
+) -> ProcReaching:
+    """Local reaching-decompositions for one procedure.
+
+    ``entry`` overrides the default entry facts (used when re-running
+    after interprocedural propagation has resolved TOP); ``const_env``
+    supplies interprocedurally propagated constants so DISTRIBUTE of
+    formal arrays with symbolic bounds resolves.
+    """
+    table = build_directive_table(proc)
+    cfg = CFG.build(proc.body)
+    param_env = dict(const_env) if const_env else _param_env(proc)
+
+    commons = set(proc.commons)
+    formal_arrays = {
+        d.name for d in proc.decls if d.is_array and d.name in proc.formals
+    }
+    # COMMON arrays inherit their decomposition from the caller exactly
+    # like formals (in the main program they behave like locals)
+    inherited = formal_arrays | (commons if proc.kind != "program" else set())
+    local_arrays = {
+        d.name for d in proc.decls
+        if d.is_array and d.name not in inherited
+    }
+    if entry is None:
+        facts: set[Fact] = {(n, TOP) for n in inherited}
+        for n in local_arrays:
+            bounds = _array_bounds(proc, n, param_env)
+            if bounds is not None:
+                facts.add((n, Distribution.replicated(bounds, opts.nprocs)))
+        entry = frozenset(facts)
+
+    # gen/kill per CFG node
+    gen: dict[int, set[Fact]] = {}
+    kills_arrays: dict[int, set[str]] = {}
+    for node in cfg.nodes:
+        s = node.stmt
+        if isinstance(s, A.Distribute):
+            try:
+                changed = table.resolve_distribute(s)
+            except ValueError as e:
+                raise ReachingError(f"{proc.name}: {e}") from e
+            g: set[Fact] = set()
+            for arr, value in changed.items():
+                bounds = _array_bounds(proc, arr, param_env)
+                if bounds is None:
+                    # symbolic bounds: distribution becomes concrete only
+                    # with inherited bounds; defer via TOP-like handling
+                    raise ReachingError(
+                        f"{proc.name}: DISTRIBUTE of {arr} with symbolic "
+                        f"bounds is not supported"
+                    )
+                g.add((arr, Distribution.from_specs(
+                    value.specs, bounds, opts.nprocs)))
+            gen[node.id] = g
+            kills_arrays[node.id] = set(changed)
+
+    def transfer(node, inset):
+        ka = kills_arrays.get(node.id)
+        if ka:
+            inset = frozenset(f for f in inset if f[0] not in ka)
+        g = gen.get(node.id)
+        if g:
+            inset = inset | frozenset(g)
+        return inset
+
+    ins, _outs = solve(cfg, transfer, "forward", boundary=entry)
+
+    pr = ProcReaching(proc.name, cfg, entry, table=table)
+    for node in cfg.nodes:
+        if node.stmt is not None:
+            pr.at_stmt[id(node.stmt)] = ins[node.id]
+    return pr
+
+
+def translate_to_callee(
+    facts: frozenset[Fact], site: CallSite, callee: A.Procedure | None = None
+) -> frozenset[Fact]:
+    """The paper's ``Translate``: map actual-array facts to the callee's
+    formal names; facts for COMMON (global) arrays are simply copied."""
+    out: set[Fact] = set()
+    for formal, actual in site.array_actuals.items():
+        for name, d in facts:
+            if name == actual:
+                out.add((formal, d))
+    if callee is not None and callee.commons:
+        commons = set(callee.commons)
+        for name, d in facts:
+            if name in commons:
+                out.add((name, d))
+    return frozenset(out)
+
+
+@dataclass
+class ReachingResult:
+    """Whole-program reaching decompositions."""
+
+    per_proc: dict[str, ProcReaching]
+    #: Reaching(P): facts entering each procedure from all its callers
+    reaching: dict[str, frozenset[Fact]]
+    #: per call-site id: translated facts (callee formal names)
+    site_reaching: dict[int, frozenset[Fact]]
+    #: per-procedure constant environments (interprocedural constants)
+    constants: dict[str, dict] = None  # type: ignore[assignment]
+
+
+def compute_reaching(acg: ACG, opts: Options) -> ReachingResult:
+    """Figure 6: local analysis + top-down interprocedural propagation +
+    the final recomputation pass that resolves TOP in every procedure."""
+    program = acg.program
+    from ..analysis.constants import propagate_constants
+
+    constants = propagate_constants(acg)
+
+    # --- local analysis phase -----------------------------------------
+    local: dict[str, ProcReaching] = {}
+    for proc in program.units:
+        local[proc.name] = analyze_procedure(
+            proc, opts, const_env=constants[proc.name]
+        )
+
+    # --- interprocedural propagation (topological: callers first) -------
+    reaching: dict[str, frozenset[Fact]] = {}
+    site_reaching: dict[int, frozenset[Fact]] = {}
+    final: dict[str, ProcReaching] = {}
+    for name in acg.topological_order():
+        proc = program.unit(name)
+        callers = acg.calls_to(name)
+        if proc.kind == "program" or not callers:
+            reaching[name] = frozenset()
+        else:
+            merged: set[Fact] = set()
+            for site in callers:
+                caller_pr = final[site.caller]
+                at_call = caller_pr.at_stmt.get(id(site.stmt), frozenset())
+                translated = translate_to_callee(at_call, site, proc)
+                site_reaching[site.id] = translated
+                merged |= translated
+            reaching[name] = frozenset(merged)
+        # resolve TOP: re-run local analysis with the propagated entry
+        entry_facts: set[Fact] = set()
+        base = local[name].entry
+        for arr, d in base:
+            if d is TOP:
+                resolved = {dd for (n, dd) in reaching[name] if n == arr}
+                if resolved:
+                    entry_facts |= {(arr, dd) for dd in resolved}
+                else:
+                    entry_facts.add((arr, TOP))
+            else:
+                entry_facts.add((arr, d))
+        final[name] = analyze_procedure(
+            proc, opts, frozenset(entry_facts), const_env=constants[name]
+        )
+
+    return ReachingResult(final, reaching, site_reaching, constants)

@@ -1,0 +1,161 @@
+"""Recompilation analysis (§4, §8).
+
+In an interprocedural system an unedited module may still need
+recompilation when changes elsewhere alter the interprocedural facts it
+was compiled under.  Rather than recompiling the whole program after
+each change, ParaScope "performs recompilation analysis to pinpoint
+modules that may have been affected".
+
+We implement that as fingerprinting: every procedure's compilation
+records (a) a fingerprint of its own source and (b) a fingerprint of
+every interprocedural input it consumed — reaching decompositions,
+propagated constants, and the callee exports (delayed partitions,
+pending communication, RSD summaries, decomposition sets) visible at its
+call sites.  On a subsequent compilation, a procedure is recompiled only
+when one of those fingerprints changed; everything else keeps its
+previous node code (here: the compiled Procedure object is reused).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Union
+
+from ..callgraph.acg import ACG
+from ..lang import ast as A
+from ..lang import parse, procedure_str
+from .cloning import clone_program
+from .driver import CompiledProgram, ProcedureCompiler, TagAllocator, \
+    _initial_distributions
+from .model import ProcExports
+from .options import CompileReport, Mode, Options
+from .reaching import compute_reaching
+
+
+def _digest(text: str) -> str:
+    return hashlib.sha256(text.encode()).hexdigest()[:16]
+
+
+def source_fingerprint(proc: A.Procedure) -> str:
+    """Stable fingerprint of one procedure's source (the "local summary
+    collected after an editing session")."""
+    return _digest(procedure_str(proc))
+
+
+def _exports_fingerprint(exp: ProcExports) -> str:
+    parts = [exp.name]
+    if exp.constraint is not None:
+        c = exp.constraint
+        parts.append(f"c:{c.dimdist}:{c.var}:{c.off}")
+    for p in exp.pending:
+        parts.append(f"p:{p.describe()}")
+    for arr in sorted(exp.writes):
+        parts.append(f"w:{arr}:" + ",".join(map(str, exp.writes[arr])))
+    for arr in sorted(exp.reads):
+        parts.append(f"r:{arr}:" + ",".join(map(str, exp.reads[arr])))
+    d = exp.decomp
+    parts.append(f"d:{sorted(d.use)}:{sorted(d.kill)}:"
+                 f"{sorted((k, str(v)) for k, v in d.before.items())}:"
+                 f"{sorted((k, str(v)) for k, v in d.after.items())}:"
+                 f"{sorted(d.full_kill)}")
+    parts.append(str(sorted(exp.overlap_offsets.items())))
+    return _digest("|".join(parts))
+
+
+@dataclass
+class ProcRecord:
+    """What one procedure's last compilation depended on."""
+
+    source: str
+    inputs: str          # reaching + constants + callee exports digest
+    compiled: A.Procedure
+    exports: ProcExports
+
+
+@dataclass
+class RecompilationManager:
+    """Separate-compilation façade over the whole-program driver.
+
+    ``compile()`` performs a full build and caches per-procedure
+    records; subsequent ``compile()`` calls with edited source reuse
+    every procedure whose source *and* interprocedural inputs are
+    unchanged.  ``last_recompiled`` lists what was actually rebuilt —
+    the quantity §8's analysis minimizes.
+    """
+
+    opts: Options = field(default_factory=Options)
+    records: dict[str, ProcRecord] = field(default_factory=dict)
+    last_recompiled: list[str] = field(default_factory=list)
+    last_reused: list[str] = field(default_factory=list)
+    #: persistent across compilations so reused node code (which keeps
+    #: its old message tags) never collides with freshly compiled code
+    tags: TagAllocator = field(default_factory=TagAllocator)
+
+    def compile(self, source: Union[str, A.Program]) -> CompiledProgram:
+        prog = parse(source) if isinstance(source, str) else \
+            A.Program([A.clone_procedure(u) for u in source.units])
+        report = CompileReport(mode=self.opts.mode, nprocs=self.opts.nprocs)
+        if self.opts.mode in (Mode.INTER, Mode.INTRA):
+            outcome = clone_program(prog, self.opts)
+            prog, acg, reaching = (
+                outcome.program, outcome.acg, outcome.reaching
+            )
+            report.cloned = outcome.clones
+        else:
+            acg = ACG(prog)
+            reaching = compute_reaching(acg, self.opts)
+        initial = _initial_distributions(prog, reaching, self.opts)
+
+        tags = self.tags
+        exports: dict[str, ProcExports] = {}
+        new_records: dict[str, ProcRecord] = {}
+        self.last_recompiled = []
+        self.last_reused = []
+        main_name = prog.main.name
+        for name in acg.reverse_topological_order():
+            proc = prog.unit(name)
+            src_fp = source_fingerprint(proc)
+            in_fp = self._inputs_fingerprint(name, acg, reaching, exports)
+            old = self.records.get(name)
+            if old is not None and old.source == src_fp \
+                    and old.inputs == in_fp:
+                # reuse: swap in the previously compiled body
+                idx = prog.units.index(proc)
+                prog.units[idx] = old.compiled
+                exports[name] = old.exports
+                new_records[name] = old
+                self.last_reused.append(name)
+                continue
+            pc = ProcedureCompiler(
+                proc, acg, reaching, self.opts, exports, report, tags,
+                is_main=(name == main_name),
+            )
+            exports[name] = pc.compile()
+            new_records[name] = ProcRecord(src_fp, in_fp, proc,
+                                           exports[name])
+            self.last_recompiled.append(name)
+        self.records = new_records
+        return CompiledProgram(prog, initial, report, self.opts)
+
+    def _inputs_fingerprint(
+        self,
+        name: str,
+        acg: ACG,
+        reaching,
+        exports: dict[str, ProcExports],
+    ) -> str:
+        parts = []
+        pr = reaching.per_proc[name]
+        parts.append(str(sorted(str(f) for f in pr.entry)))
+        consts = (getattr(reaching, "constants", None) or {}).get(name, {})
+        parts.append(str(sorted(consts.items())))
+        for site in acg.calls_from(name):
+            exp = exports.get(site.callee)
+            parts.append(
+                f"{site.callee}:" + (_exports_fingerprint(exp) if exp else "-")
+            )
+        parts.append(str(self.opts.nprocs))
+        parts.append(self.opts.mode.value)
+        parts.append(str(int(self.opts.dynopt)))
+        return _digest("|".join(parts))

@@ -1,0 +1,165 @@
+"""Reduction recognition.
+
+The owner-computes rule has no owner for ``s = s + x(i)`` — the target
+is a replicated scalar — so without special handling such loops fall
+back to run-time resolution.  The Fortran D compiler family recognizes
+*reduction idioms* instead: partition the loop by the distributed
+operand, accumulate local partial results, and combine them with a
+global reduction after the loop.
+
+Supported shapes (``s`` a scalar, ``e`` reading a distributed array
+indexed by the loop variable):
+
+* ``s = s + e`` / ``s = e + s``            -> partial sums,   global sum
+* ``s = min(s, e)`` / ``s = min(e, s)``    -> partial minima, global min
+* ``s = max(s, e)`` / ``s = max(e, s)``    -> partial maxima, global max
+
+For sums the incoming value of ``s`` must not be counted once per
+processor, so the generated code snapshots it before the loop and adds
+it back after the combine::
+
+    s$red = s ; s = 0
+    do i = <owned iterations>
+      s = s + e(i)
+    enddo
+    global_sum(s)
+    s = s + s$red
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..analysis.symbolics import affine_of
+from ..lang import ast as A
+from .model import Constraint
+from .partition import ArrayInfo
+
+
+@dataclass
+class ReductionSpec:
+    """One recognized reduction statement."""
+
+    stmt: A.Assign
+    var: str               # the accumulator scalar
+    op: str                # "sum" | "min" | "max"
+    loop: A.Do             # the partitioned loop
+    constraint: Constraint  # owner constraint of the distributed operand
+    temp: str              # snapshot temporary name
+
+
+def _split_reduction_expr(
+    target: str, e: A.Expr
+) -> Optional[tuple[str, A.Expr]]:
+    """Match ``target (+|min|max) rest``; returns (op, rest)."""
+    if isinstance(e, A.BinOp) and e.op == "+":
+        if e.left == A.Var(target):
+            return ("sum", e.right)
+        if e.right == A.Var(target):
+            return ("sum", e.left)
+    if isinstance(e, A.CallExpr) and e.name in ("min", "max") \
+            and len(e.args) == 2:
+        op = e.name
+        if e.args[0] == A.Var(target):
+            return (op, e.args[1])
+        if e.args[1] == A.Var(target):
+            return (op, e.args[0])
+    return None
+
+
+def _accumulator_ok(var: str, loop: A.Do, stmt: A.Assign) -> bool:
+    """The accumulator may appear in the loop only inside *stmt* (one
+    update per iteration, no other reads/writes)."""
+    for s in A.walk_stmts(loop.body):
+        if s is stmt:
+            continue
+        for e in A.stmt_exprs(s):
+            for x in A.walk_exprs(e):
+                if isinstance(x, A.Var) and x.name == var:
+                    return False
+        if isinstance(s, A.Assign) and isinstance(s.target, A.Var) \
+                and s.target.name == var:
+            return False
+        if isinstance(s, A.Do) and s.var == var:
+            return False
+    return True
+
+
+def recognize_reduction(
+    stmt: A.Assign,
+    loops: list[A.Do],
+    arrays: dict[str, ArrayInfo],
+    env: dict,
+    temp_index: int,
+) -> Optional[ReductionSpec]:
+    """Try to recognize *stmt* (at loop nest *loops*) as a reduction over
+    a distributed array partitioned by the innermost loop."""
+    if not isinstance(stmt.target, A.Var) or not loops:
+        return None
+    var = stmt.target.name
+    split = _split_reduction_expr(var, stmt.expr)
+    if split is None:
+        return None
+    op, rest = split
+    # the rest must not mention the accumulator again
+    for x in A.walk_exprs(rest):
+        if isinstance(x, A.Var) and x.name == var:
+            return None
+    # find a distributed-array read indexed by an enclosing loop var
+    loop_by_var = {l.var: l for l in loops}
+    candidate: Optional[tuple[A.Do, Constraint]] = None
+    for x in A.walk_exprs(rest):
+        if not isinstance(x, A.ArrayRef):
+            continue
+        info = arrays.get(x.name)
+        if info is None or not info.distributed:
+            continue
+        sub = x.subs[info.axis]
+        aff = affine_of(sub, env)
+        if aff is None or aff.var not in loop_by_var:
+            return None  # distributed read not aligned with a loop: bail
+        dim = info.dist.dims[info.axis]
+        c = Constraint(dim, sub, aff.var, aff.offset)
+        if candidate is not None:
+            prev_loop, prev_c = candidate
+            if prev_loop is not loop_by_var[aff.var] or \
+                    prev_c.dimdist != c.dimdist or prev_c.off != c.off:
+                return None  # conflicting partitions
+        candidate = (loop_by_var[aff.var], c)
+    if candidate is None:
+        return None
+    loop, constraint = candidate
+    if loop.step != A.ONE and constraint.dimdist.kind == "block":
+        return None
+    if not _accumulator_ok(var, loop, stmt):
+        return None
+    return ReductionSpec(
+        stmt, var, op, loop, constraint, f"{var}$red{temp_index}"
+    )
+
+
+def reduction_prologue(spec: ReductionSpec) -> list[A.Stmt]:
+    """Statements inserted before the partitioned loop."""
+    out: list[A.Stmt] = [A.Assign(A.Var(spec.temp), A.Var(spec.var))]
+    if spec.op == "sum":
+        out.append(A.Assign(A.Var(spec.var), A.Num(0)))
+    return out
+
+
+def reduction_epilogue(spec: ReductionSpec) -> list[A.Stmt]:
+    """Statements inserted after the partitioned loop: combine the
+    partial results and restore the incoming contribution."""
+    out: list[A.Stmt] = [A.GlobalReduce(spec.var, spec.op)]
+    if spec.op == "sum":
+        out.append(A.Assign(
+            A.Var(spec.var),
+            A.BinOp("+", A.Var(spec.var), A.Var(spec.temp)),
+        ))
+    else:
+        fn = spec.op  # min / max against the incoming value
+        out.append(A.Assign(
+            A.Var(spec.var),
+            A.CallExpr(fn, (A.Var(spec.var), A.Var(spec.temp))),
+        ))
+    return out

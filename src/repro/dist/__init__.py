@@ -1,0 +1,25 @@
+"""Data decomposition and distribution index math."""
+
+from .decomposition import (
+    TOP,
+    AlignDecl,
+    DecompDecl,
+    DecompValue,
+    DirectiveTable,
+    align_permutation,
+    permute_specs,
+)
+from .distribution import DimDistribution, Distribution, factor_grid
+
+__all__ = [
+    "TOP",
+    "DecompValue",
+    "DecompDecl",
+    "AlignDecl",
+    "DirectiveTable",
+    "align_permutation",
+    "permute_specs",
+    "DimDistribution",
+    "Distribution",
+    "factor_grid",
+]

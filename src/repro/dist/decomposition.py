@@ -1,0 +1,180 @@
+"""Decomposition and alignment records.
+
+Fortran D's ``DECOMPOSITION`` declares an abstract index domain, ``ALIGN``
+maps array elements onto it, and ``DISTRIBUTE`` maps the decomposition
+(and all aligned arrays) onto the machine.  The compiler folds the three
+into a per-array :class:`DecompValue` — the distribution pattern of the
+array's own dimensions — which is the element carried around by reaching-
+decompositions sets (the ``D`` in the paper's ``<D, V>`` pairs).
+
+As in HPF and the paper (§2), every array has an implicit default
+decomposition, so ``DISTRIBUTE X(BLOCK)`` directly on an array and
+``ALIGN Y(i, j) WITH X(j, i)`` against another array are both supported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..lang import ast as A
+
+
+@dataclass(frozen=True)
+class DecompValue:
+    """A concrete decomposition of an array: one DistSpec per array
+    dimension (already permuted through any alignment).
+
+    This is the lattice value for reaching decompositions.  ``TOP``
+    (represented by the module-level singleton, not a DecompValue) stands
+    for "inherited from caller, unknown locally".
+    """
+
+    specs: tuple[A.DistSpec, ...]
+
+    @property
+    def rank(self) -> int:
+        return len(self.specs)
+
+    def distributed_axes(self) -> list[int]:
+        return [i for i, s in enumerate(self.specs) if s.kind != "none"]
+
+    def __str__(self) -> str:
+        return "(" + ", ".join(str(s) for s in self.specs) + ")"
+
+
+class _Top:
+    """The ⊤ placeholder of §5.2: a decomposition inherited from a
+    caller."""
+
+    _instance: Optional["_Top"] = None
+
+    def __new__(cls) -> "_Top":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "TOP"
+
+    def __str__(self) -> str:
+        return "⊤"
+
+
+TOP = _Top()
+
+
+def align_permutation(
+    source_subs: Sequence[str], target_subs: Sequence[str]
+) -> list[int]:
+    """For ``ALIGN Y(source_subs) WITH D(target_subs)``, return ``perm``
+    with ``perm[y_dim] = d_dim`` such that Y's dimension ``y_dim`` is
+    aligned with D's dimension ``d_dim``.
+
+    Example: ``ALIGN Y(i, j) WITH X(j, i)`` gives ``[1, 0]``.
+    """
+    if sorted(source_subs) != sorted(target_subs):
+        raise ValueError(
+            f"alignment indices mismatch: {source_subs} vs {target_subs}"
+        )
+    if len(set(source_subs)) != len(source_subs):
+        raise ValueError(f"repeated alignment index in {source_subs}")
+    return [target_subs.index(s) for s in source_subs]
+
+
+def permute_specs(
+    specs: Sequence[A.DistSpec], perm: Sequence[int]
+) -> tuple[A.DistSpec, ...]:
+    """Distribution of the aligned array: dimension ``a`` of the array
+    gets the spec of decomposition dimension ``perm[a]``."""
+    return tuple(specs[perm[a]] for a in range(len(perm)))
+
+
+@dataclass
+class DecompDecl:
+    """A DECOMPOSITION declaration seen in a unit (static info)."""
+
+    name: str
+    extents: list[int]
+
+
+@dataclass
+class AlignDecl:
+    """An ALIGN seen in a unit: array -> (target, permutation)."""
+
+    array: str
+    target: str
+    perm: list[int]
+
+
+class DirectiveTable:
+    """Accumulates the decomposition/alignment structure of one procedure
+    and resolves DISTRIBUTE statements to per-array :class:`DecompValue`.
+
+    The table answers: "when this DISTRIBUTE executes, which arrays
+    change decomposition, and to what pattern?"  (Alignment chains —
+    Y aligned with X aligned with D — are followed transitively.)
+    """
+
+    def __init__(self, arrays: dict[str, int]) -> None:
+        # arrays: name -> rank, for the current procedure
+        self.arrays = dict(arrays)
+        self.decomps: dict[str, DecompDecl] = {}
+        self.aligns: dict[str, AlignDecl] = {}
+
+    def add_decomposition(self, stmt: A.Decomposition) -> None:
+        extents = []
+        for e in stmt.extents:
+            if not isinstance(e, A.Num) or not isinstance(e.value, int):
+                raise ValueError(
+                    f"decomposition {stmt.name}: extent must be constant"
+                )
+            extents.append(e.value)
+        self.decomps[stmt.name] = DecompDecl(stmt.name, extents)
+
+    def add_align(self, stmt: A.Align) -> None:
+        perm = align_permutation(stmt.source_subs, stmt.target_subs)
+        self.aligns[stmt.array] = AlignDecl(stmt.array, stmt.decomp, perm)
+
+    def resolve_distribute(
+        self, stmt: A.Distribute
+    ) -> dict[str, DecompValue]:
+        """All (array -> DecompValue) bindings produced by executing this
+        DISTRIBUTE statement."""
+        target = stmt.name
+        specs = tuple(stmt.specs)
+        out: dict[str, DecompValue] = {}
+        if target in self.arrays:
+            # direct distribution of an array (implicit decomposition)
+            out[target] = DecompValue(specs)
+        elif target in self.decomps:
+            if len(specs) != len(self.decomps[target].extents):
+                raise ValueError(
+                    f"distribute {target}: {len(specs)} specs for "
+                    f"{len(self.decomps[target].extents)}-d decomposition"
+                )
+        else:
+            raise ValueError(f"distribute of unknown name {target!r}")
+        # propagate through alignment chains
+        for arr in self.arrays:
+            perm = self.chain_perm(arr, target)
+            if perm is not None and arr not in out:
+                out[arr] = DecompValue(permute_specs(specs, perm))
+        return out
+
+    def chain_perm(self, array: str, target: str) -> Optional[list[int]]:
+        """Composite permutation aligning ``array`` (possibly through
+        intermediate arrays) with ``target``; None when not aligned."""
+        seen = set()
+        name = array
+        perm = list(range(self.arrays.get(array, 0)))
+        while name in self.aligns:
+            if name in seen:
+                raise ValueError(f"alignment cycle through {name!r}")
+            seen.add(name)
+            al = self.aligns[name]
+            perm = [al.perm[p] for p in perm]
+            name = al.target
+            if name == target:
+                return perm
+        return None

@@ -1,0 +1,23 @@
+"""SPMD node-program interpreter."""
+
+from .arrays import FArray
+from .interpreter import (
+    Frame,
+    InterpError,
+    Interpreter,
+    SPMDResult,
+    default_init,
+    run_sequential,
+    run_spmd,
+)
+
+__all__ = [
+    "FArray",
+    "Frame",
+    "Interpreter",
+    "InterpError",
+    "SPMDResult",
+    "run_sequential",
+    "run_spmd",
+    "default_init",
+]

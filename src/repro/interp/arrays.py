@@ -1,0 +1,120 @@
+"""Distributed array objects for the node interpreter.
+
+Node programs execute in *global index space*: every node allocates the
+full array, but only its owned partition (plus sections delivered by
+receives/broadcasts) holds valid data.  Ownership never appears here —
+the compiled program's reduced loop bounds and guards enforce it; the
+array object just stores data, bounds, and the current distribution
+(which remapping updates and ``owner()`` queries at run time).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from ..dist import Distribution
+
+SubsValue = Union[int, tuple]  # int index or (lo, hi, step) triple
+
+
+class FArray:
+    """A Fortran array on one node."""
+
+    __slots__ = ("name", "bounds", "data", "dist", "dtype")
+
+    def __init__(
+        self,
+        name: str,
+        bounds: Sequence[tuple[int, int]],
+        dtype: str = "real",
+        dist: Optional[Distribution] = None,
+        fill: float = 0.0,
+    ) -> None:
+        self.name = name
+        self.bounds = [(int(lo), int(hi)) for lo, hi in bounds]
+        shape = tuple(hi - lo + 1 for lo, hi in self.bounds)
+        np_dtype = np.float64 if dtype == "real" else np.int64
+        self.dtype = dtype
+        self.data = np.full(shape, fill, dtype=np_dtype)
+        self.dist = dist
+
+    @property
+    def rank(self) -> int:
+        return len(self.bounds)
+
+    @property
+    def element_bytes(self) -> int:
+        return int(self.data.itemsize)
+
+    # -- element access ------------------------------------------------------
+
+    def _offset(self, axis: int, g: int) -> int:
+        lo, hi = self.bounds[axis]
+        if not (lo <= g <= hi):
+            raise IndexError(
+                f"{self.name}: index {g} outside [{lo}:{hi}] in dim {axis + 1}"
+            )
+        return g - lo
+
+    def get(self, indices: Sequence[int]):
+        pos = tuple(self._offset(a, g) for a, g in enumerate(indices))
+        return self.data[pos]
+
+    def set(self, indices: Sequence[int], value) -> None:
+        pos = tuple(self._offset(a, g) for a, g in enumerate(indices))
+        self.data[pos] = value
+
+    # -- section access -------------------------------------------------------
+
+    def _slices(self, subs: Sequence[SubsValue]) -> tuple:
+        out = []
+        for axis, s in enumerate(subs):
+            if isinstance(s, tuple):
+                lo, hi, step = s
+                if hi < lo:
+                    # empty section (e.g. the boundary strip of a
+                    # processor whose block is empty): no bounds check —
+                    # the endpoints may lie outside the array
+                    out.append(slice(0, 0, max(int(step), 1)))
+                    continue
+                o = self._offset(axis, lo)
+                e = self._offset(axis, hi)
+                out.append(slice(o, e + 1, step))
+            else:
+                out.append(self._offset(axis, int(s)))
+        return tuple(out)
+
+    def read_section(self, subs: Sequence[SubsValue]) -> np.ndarray:
+        """Copy of the section described by *subs* (ints or
+        ``(lo, hi, step)`` triples, inclusive global bounds)."""
+        return np.array(self.data[self._slices(subs)], copy=True)
+
+    def write_section(self, subs: Sequence[SubsValue], payload) -> None:
+        slices = self._slices(subs)
+        if not any(isinstance(x, slice) for x in slices):
+            self.data[slices] = payload  # single element
+            return
+        view = self.data[slices]
+        payload = np.asarray(payload)
+        if payload.shape != view.shape:
+            payload = payload.reshape(view.shape)
+        view[...] = payload
+
+    @staticmethod
+    def section_count(subs: Sequence[SubsValue]) -> int:
+        n = 1
+        for s in subs:
+            if isinstance(s, tuple):
+                lo, hi, step = s
+                n *= 0 if hi < lo else (hi - lo) // step + 1
+        return n
+
+    def section_bytes(self, subs: Sequence[SubsValue]) -> int:
+        return self.section_count(subs) * self.element_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        b = ",".join(f"{lo}:{hi}" for lo, hi in self.bounds)
+        d = f" dist={self.dist}" if self.dist else ""
+        return f"<FArray {self.name}({b}){d}>"

@@ -1,0 +1,787 @@
+"""Closure-compiling interpreter for Fortran D / SPMD node programs.
+
+One interpreter instance executes one program on one node (or
+sequentially when ``ctx is None``).  Each procedure body is compiled once
+into a tree of Python closures — roughly 5-10x faster than naive
+re-dispatching tree walking, which matters for the dgefa benchmark
+sweeps.
+
+Semantics notes
+---------------
+* Fortran implicit typing: undeclared scalars starting with ``i``-``n``
+  are INTEGER, others REAL.
+* Array formals bind by reference (the caller's :class:`FArray` object);
+  scalar formals copy in, and copy out when the actual is a variable.
+* Functions return through assignment to the function name.
+* The Fortran D directives are executable no-ops here: data placement is
+  the *compiler's* concern; compiled node programs contain explicit
+  Send/Recv/Bcast/Remap statements instead.
+* All nodes initialize arrays with the same deterministic pattern, so a
+  compiled program's owned regions can be compared element-for-element
+  against a sequential run of the original program.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..dist import Distribution
+from ..lang import ast as A
+from ..lang.printer import expr_str
+from ..machine.machine import Machine, ProcContext
+from ..machine.costmodel import CostModel, IPSC860
+from ..runtime.intrinsics import PURE_INTRINSICS
+from ..runtime.remap import mark_array, remap_array
+from .arrays import FArray
+
+
+class InterpError(Exception):
+    """Semantic error during execution."""
+
+
+class _Return(Exception):
+    pass
+
+
+class _Stop(Exception):
+    pass
+
+
+class Frame:
+    """Activation record of one procedure instance."""
+
+    __slots__ = ("scalars", "arrays", "unit")
+
+    def __init__(self, unit: str) -> None:
+        self.unit = unit
+        self.scalars: dict[str, float | int] = {}
+        self.arrays: dict[str, FArray] = {}
+
+
+def default_init(name: str, indices: tuple[int, ...]) -> float:
+    """Deterministic array initializer shared by sequential and SPMD
+    runs (values stay O(1) under repeated F applications)."""
+    h = 0
+    for k in indices:
+        h = (h * 31 + k * 17) % 1013
+    return 1.0 + (h % 97) / 97.0
+
+
+ExprFn = Callable[[Frame], object]
+StmtFn = Callable[[Frame], None]
+
+
+def _count_ops(e: A.Expr) -> int:
+    n = 0
+    for sub in A.walk_exprs(e):
+        if isinstance(sub, (A.BinOp, A.UnOp, A.CallExpr)):
+            n += 1
+    return n
+
+
+class Interpreter:
+    """Compiles and executes one program for one node."""
+
+    def __init__(
+        self,
+        program: A.Program,
+        ctx: Optional[ProcContext] = None,
+        initial_dists: Optional[dict[tuple[str, str], Distribution]] = None,
+        init_fn: Callable[[str, tuple[int, ...]], float] = default_init,
+        init_main_arrays: bool = True,
+    ) -> None:
+        self.program = program
+        self.ctx = ctx
+        self.initial_dists = initial_dists or {}
+        self.init_fn = init_fn
+        self.init_main_arrays = init_main_arrays
+        self.prints: list[str] = []
+        self._compiled: dict[str, list[StmtFn]] = {}
+        self._param_env: dict[str, dict[str, float | int]] = {}
+        for unit in program.units:
+            self._param_env[unit.name] = self._eval_params(unit)
+        # COMMON arrays: one storage per node, visible in every frame
+        self._common_store: dict[str, FArray] = {}
+        self._build_commons()
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def run(self) -> Frame:
+        """Execute the main program; returns its final frame."""
+        main = self.program.main
+        frame = self._make_frame(main, [], None)
+        try:
+            self._exec_unit(main, frame)
+        except _Stop:
+            pass
+        return frame
+
+    # ------------------------------------------------------------------
+    # frames and declarations
+    # ------------------------------------------------------------------
+
+    def _eval_params(self, unit: A.Procedure) -> dict[str, float | int]:
+        from ..analysis.symbolics import eval_const
+
+        env: dict[str, float | int] = {}
+        for p in unit.params:
+            v = eval_const(p.value, env)
+            if v is None:
+                raise InterpError(
+                    f"{unit.name}: PARAMETER {p.name} is not constant"
+                )
+            env[p.name] = v
+        return env
+
+    def _build_commons(self) -> None:
+        try:
+            decls = self.program.common_decls()
+        except ValueError as e:
+            raise InterpError(str(e)) from e
+        if not decls:
+            return
+        main = self.program.main
+        env = dict(self._param_env[main.name])
+        for name, d in decls.items():
+            bounds = []
+            for lo_e, hi_e in d.dims:
+                lo = self._const_bound(lo_e, env, main, name)
+                hi = self._const_bound(hi_e, env, main, name)
+                bounds.append((lo, hi))
+            dist = self.initial_dists.get((main.name, name))
+            arr = FArray(name, bounds, d.type, dist)
+            if self.init_main_arrays:
+                self._fill(arr)
+            self._common_store[name] = arr
+
+    def _scalar_type(self, unit: A.Procedure, name: str) -> str:
+        d = unit.decl(name)
+        if d is not None:
+            return d.type
+        return "integer" if name[0] in "ijklmn" else "real"
+
+    def _make_frame(
+        self,
+        unit: A.Procedure,
+        args: list[object],
+        caller_frame: Optional[Frame],
+    ) -> Frame:
+        frame = Frame(unit.name)
+        frame.scalars.update(self._param_env[unit.name])
+        # COMMON arrays are visible everywhere (callers may place
+        # communication for globals their callees access)
+        frame.arrays.update(self._common_store)
+        # bind formals
+        for formal, value in zip(unit.formals, args):
+            if isinstance(value, FArray):
+                frame.arrays[formal] = value
+            else:
+                frame.scalars[formal] = value
+        # allocate local (non-formal) arrays
+        env = dict(frame.scalars)
+        for d in unit.decls:
+            if not d.is_array or d.name in frame.arrays:
+                continue
+            bounds = []
+            for lo_e, hi_e in d.dims:
+                lo = self._const_bound(lo_e, env, unit, d.name)
+                hi = self._const_bound(hi_e, env, unit, d.name)
+                bounds.append((lo, hi))
+            dist = self.initial_dists.get((unit.name, d.name))
+            arr = FArray(d.name, bounds, d.type, dist)
+            if unit.kind == "program" and self.init_main_arrays:
+                self._fill(arr)
+            frame.arrays[d.name] = arr
+        return frame
+
+    def _const_bound(self, e, env, unit, name) -> int:
+        from ..analysis.symbolics import eval_int
+
+        v = eval_int(e, env)
+        if v is None:
+            raise InterpError(
+                f"{unit.name}: bound {expr_str(e)} of array {name} not "
+                f"computable at entry"
+            )
+        return v
+
+    def _fill(self, arr: FArray) -> None:
+        it = np.nditer(arr.data, flags=["multi_index"], op_flags=["writeonly"])
+        los = [lo for lo, _ in arr.bounds]
+        for cell in it:
+            g = tuple(o + l for o, l in zip(it.multi_index, los))
+            cell[...] = self.init_fn(arr.name, g)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def _exec_unit(self, unit: A.Procedure, frame: Frame) -> None:
+        code = self._compiled.get(unit.name)
+        if code is None:
+            code = [self._compile_stmt(s, unit) for s in unit.body]
+            self._compiled[unit.name] = code
+        try:
+            for fn in code:
+                fn(frame)
+        except _Return:
+            pass
+
+    def _call_procedure(
+        self, name: str, arg_exprs: list[A.Expr], frame: Frame,
+        compiled_args: list[ExprFn],
+    ) -> Frame:
+        unit = self.program.unit(name)
+        args: list[object] = []
+        for e, fn in zip(arg_exprs, compiled_args):
+            if isinstance(e, A.Var) and e.name in frame.arrays:
+                args.append(frame.arrays[e.name])
+            else:
+                args.append(fn(frame))
+        callee_frame = self._make_frame(unit, args, frame)
+        if self.ctx is not None:
+            self.ctx.compute(3 + len(args))  # call overhead
+        self._exec_unit(unit, callee_frame)
+        # copy-out for scalar var actuals
+        for formal, e in zip(unit.formals, arg_exprs):
+            if isinstance(e, A.Var) and e.name not in frame.arrays:
+                if formal in callee_frame.scalars:
+                    frame.scalars[e.name] = callee_frame.scalars[formal]
+        return callee_frame
+
+    # ------------------------------------------------------------------
+    # expression compilation
+    # ------------------------------------------------------------------
+
+    def _compile_expr(self, e: A.Expr, unit: A.Procedure) -> ExprFn:
+        if isinstance(e, A.Num):
+            v = e.value
+            return lambda fr: v
+        if isinstance(e, A.Logical):
+            v = e.value
+            return lambda fr: v
+        if isinstance(e, A.Str):
+            v = e.value
+            return lambda fr: v
+        if isinstance(e, A.Var):
+            name = e.name
+            const = self._param_env[unit.name].get(name)
+            if const is not None and unit.decl(name) is None:
+                return lambda fr: fr.scalars.get(name, const)
+
+            def read_var(fr: Frame, name=name):
+                try:
+                    return fr.scalars[name]
+                except KeyError:
+                    if name in fr.arrays:
+                        raise InterpError(
+                            f"{fr.unit}: whole-array reference "
+                            f"{name!r} in scalar context"
+                        ) from None
+                    raise InterpError(
+                        f"{fr.unit}: read of undefined scalar {name!r}"
+                    ) from None
+
+            return read_var
+        if isinstance(e, A.ArrayRef):
+            name = e.name
+            sub_fns = [self._compile_expr(s, unit) for s in e.subs]
+
+            def read_elem(fr: Frame):
+                arr = fr.arrays[name]
+                idx = [int(f(fr)) for f in sub_fns]
+                return arr.get(idx)
+
+            return read_elem
+        if isinstance(e, A.BinOp):
+            lf = self._compile_expr(e.left, unit)
+            rf = self._compile_expr(e.right, unit)
+            return _binop_fn(e.op, lf, rf)
+        if isinstance(e, A.UnOp):
+            of = self._compile_expr(e.operand, unit)
+            if e.op == "-":
+                return lambda fr: -of(fr)
+            if e.op == ".not.":
+                return lambda fr: not of(fr)
+            raise InterpError(f"unknown unary op {e.op}")
+        if isinstance(e, A.CallExpr):
+            return self._compile_call_expr(e, unit)
+        if isinstance(e, A.Triplet):
+            raise InterpError("triplet outside communication statement")
+        raise InterpError(f"cannot compile expression {e!r}")
+
+    def _compile_call_expr(self, e: A.CallExpr, unit: A.Procedure) -> ExprFn:
+        name = e.name
+        if name == "myproc":
+            ctx = self.ctx
+            return lambda fr: (ctx.rank if ctx is not None else 0)
+        if name == "owner":
+            if len(e.args) != 1 or not isinstance(e.args[0], A.ArrayRef):
+                raise InterpError("owner() takes one array element")
+            ref = e.args[0]
+            sub_fns = [self._compile_expr(s, unit) for s in ref.subs]
+            arr_name = ref.name
+
+            def owner_fn(fr: Frame):
+                arr = fr.arrays[arr_name]
+                if arr.dist is None or arr.dist.is_replicated:
+                    return 0
+                idx = [int(f(fr)) for f in sub_fns]
+                return arr.dist.owner(idx)
+
+            return owner_fn
+        if name in PURE_INTRINSICS:
+            fn = PURE_INTRINSICS[name]
+            arg_fns = [self._compile_expr(a, unit) for a in e.args]
+            if len(arg_fns) == 1:
+                a0 = arg_fns[0]
+                return lambda fr: fn(a0(fr))
+            if len(arg_fns) == 2:
+                a0, a1 = arg_fns
+                return lambda fr: fn(a0(fr), a1(fr))
+            return lambda fr: fn(*[f(fr) for f in arg_fns])
+        # user function
+        try:
+            callee = self.program.unit(name)
+        except KeyError:
+            raise InterpError(
+                f"{unit.name}: call of unknown function {name!r}"
+            ) from None
+        if callee.kind != "function":
+            raise InterpError(f"{name} is not a function")
+        arg_exprs = list(e.args)
+        arg_fns = [self._compile_expr(a, unit) for a in e.args]
+
+        def call_fn(fr: Frame):
+            callee_frame = self._call_procedure(name, arg_exprs, fr, arg_fns)
+            try:
+                return callee_frame.scalars[name]
+            except KeyError:
+                raise InterpError(
+                    f"function {name} returned no value"
+                ) from None
+
+        return call_fn
+
+    # ------------------------------------------------------------------
+    # statement compilation
+    # ------------------------------------------------------------------
+
+    def _compile_block(
+        self, body: list[A.Stmt], unit: A.Procedure
+    ) -> list[StmtFn]:
+        return [self._compile_stmt(s, unit) for s in body]
+
+    def _compile_stmt(self, s: A.Stmt, unit: A.Procedure) -> StmtFn:
+        ctx = self.ctx
+        if isinstance(s, A.Assign):
+            expr_fn = self._compile_expr(s.expr, unit)
+            ops = _count_ops(s.expr) + 1
+            if isinstance(s.target, A.Var):
+                name = s.target.name
+                typ = self._scalar_type(unit, name)
+                cast = int if typ == "integer" else float
+                if ctx is None:
+                    def assign_scalar(fr: Frame):
+                        fr.scalars[name] = cast(expr_fn(fr))
+                else:
+                    def assign_scalar(fr: Frame):
+                        fr.scalars[name] = cast(expr_fn(fr))
+                        ctx.compute(ops)
+                return assign_scalar
+            name = s.target.name
+            sub_fns = [self._compile_expr(x, unit) for x in s.target.subs]
+            ops += len(sub_fns)
+            if ctx is None:
+                def assign_elem(fr: Frame):
+                    arr = fr.arrays[name]
+                    idx = [int(f(fr)) for f in sub_fns]
+                    arr.set(idx, expr_fn(fr))
+            else:
+                def assign_elem(fr: Frame):
+                    arr = fr.arrays[name]
+                    idx = [int(f(fr)) for f in sub_fns]
+                    arr.set(idx, expr_fn(fr))
+                    ctx.compute(ops)
+            return assign_elem
+        if isinstance(s, A.If):
+            cond_fn = self._compile_expr(s.cond, unit)
+            cond_ops = _count_ops(s.cond) or 1
+            then_code = self._compile_block(s.then_body, unit)
+            else_code = self._compile_block(s.else_body, unit)
+
+            def run_if(fr: Frame):
+                if ctx is not None:
+                    ctx.guard_tick(cond_ops)
+                branch = then_code if cond_fn(fr) else else_code
+                for fn in branch:
+                    fn(fr)
+
+            return run_if
+        if isinstance(s, A.Do):
+            var = s.var
+            lo_fn = self._compile_expr(s.lo, unit)
+            hi_fn = self._compile_expr(s.hi, unit)
+            st_fn = self._compile_expr(s.step, unit)
+            body_code = self._compile_block(s.body, unit)
+
+            def run_do(fr: Frame):
+                lo = int(lo_fn(fr))
+                hi = int(hi_fn(fr))
+                st = int(st_fn(fr))
+                if st == 0:
+                    raise InterpError(f"{unit.name}: zero DO step")
+                scal = fr.scalars
+                i = lo
+                if st > 0:
+                    while i <= hi:
+                        scal[var] = i
+                        if ctx is not None:
+                            ctx.loop_tick()
+                        for fn in body_code:
+                            fn(fr)
+                        i += st
+                else:
+                    while i >= hi:
+                        scal[var] = i
+                        if ctx is not None:
+                            ctx.loop_tick()
+                        for fn in body_code:
+                            fn(fr)
+                        i += st
+                scal[var] = i
+
+            return run_do
+        if isinstance(s, A.DoWhile):
+            cond_fn = self._compile_expr(s.cond, unit)
+            body_code = self._compile_block(s.body, unit)
+
+            def run_while(fr: Frame):
+                guard = 0
+                while cond_fn(fr):
+                    guard += 1
+                    if guard > 10_000_000:
+                        raise InterpError("runaway DO WHILE")
+                    if ctx is not None:
+                        ctx.loop_tick()
+                    for fn in body_code:
+                        fn(fr)
+
+            return run_while
+        if isinstance(s, A.Call):
+            name = s.name
+            arg_exprs = list(s.args)
+            arg_fns = [self._compile_expr(a, unit) for a in s.args]
+
+            def run_call(fr: Frame):
+                self._call_procedure(name, arg_exprs, fr, arg_fns)
+
+            return run_call
+        if isinstance(s, A.Return):
+            def run_return(fr: Frame):
+                raise _Return()
+
+            return run_return
+        if isinstance(s, A.Stop):
+            def run_stop(fr: Frame):
+                raise _Stop()
+
+            return run_stop
+        if isinstance(s, A.Continue):
+            return lambda fr: None
+        if isinstance(s, A.Print):
+            item_fns = [self._compile_expr(i, unit) for i in s.items]
+
+            def run_print(fr: Frame):
+                parts = []
+                for fn in item_fns:
+                    v = fn(fr)
+                    parts.append(f"{v:.6g}" if isinstance(v, float) else str(v))
+                rank = self.ctx.rank if self.ctx is not None else 0
+                self.prints.append(f"[{rank}] " + " ".join(parts))
+
+            return run_print
+        if isinstance(s, (A.Decomposition, A.Align, A.Distribute)):
+            # declarative placement: consumed by the compiler; executable
+            # no-op in direct interpretation (sequential reference runs)
+            return lambda fr: None
+        if isinstance(s, A.SetMyProc):
+            var = s.var
+
+            def run_setmyproc(fr: Frame):
+                fr.scalars[var] = self.ctx.rank if self.ctx is not None else 0
+
+            return run_setmyproc
+        if isinstance(s, (A.Send, A.Recv, A.Bcast)):
+            return self._compile_comm(s, unit)
+        if isinstance(s, (A.SendPack, A.RecvPack)):
+            return self._compile_pack(s, unit)
+        if isinstance(s, A.GlobalReduce):
+            return self._compile_reduce(s)
+        if isinstance(s, A.Remap):
+            return self._compile_remap(s, unit)
+        if isinstance(s, A.MarkDist):
+            specs = list(s.to_specs)
+            name = s.array
+
+            def run_mark(fr: Frame):
+                arr = fr.arrays[name]
+                nprocs = self.ctx.nprocs if self.ctx is not None else 1
+                mark_array(arr, Distribution.from_specs(specs, arr.bounds, nprocs))
+
+            return run_mark
+        raise InterpError(f"cannot compile statement {type(s).__name__}")
+
+    # -- communication statements ------------------------------------------
+
+    def _compile_section(
+        self, subs: list[A.Expr], unit: A.Procedure
+    ) -> Callable[[Frame], list]:
+        parts = []
+        for sub in subs:
+            if isinstance(sub, A.Triplet):
+                lo_fn = self._compile_expr(sub.lo, unit) if sub.lo else None
+                hi_fn = self._compile_expr(sub.hi, unit) if sub.hi else None
+                st_fn = self._compile_expr(sub.step, unit) if sub.step else None
+                parts.append(("t", lo_fn, hi_fn, st_fn))
+            else:
+                parts.append(("i", self._compile_expr(sub, unit)))
+
+        def build(fr: Frame) -> list:
+            out = []
+            for p in parts:
+                if p[0] == "i":
+                    out.append(int(p[1](fr)))
+                else:
+                    _, lo_fn, hi_fn, st_fn = p
+                    lo = int(lo_fn(fr)) if lo_fn else None
+                    hi = int(hi_fn(fr)) if hi_fn else None
+                    st = int(st_fn(fr)) if st_fn else 1
+                    out.append((lo, hi, st))
+            return out
+
+        return build
+
+    def _resolve_whole_dims(self, arr: FArray, subs: list) -> list:
+        out = []
+        for axis, s in enumerate(subs):
+            if isinstance(s, tuple):
+                lo, hi, st = s
+                blo, bhi = arr.bounds[axis]
+                out.append((lo if lo is not None else blo,
+                            hi if hi is not None else bhi, st))
+            else:
+                out.append(s)
+        return out
+
+    def _compile_comm(self, s: A.Stmt, unit: A.Procedure) -> StmtFn:
+        section_fn = self._compile_section(s.subs, unit)
+        name = s.array
+        tag = s.tag
+        if isinstance(s, A.Send):
+            dest_fn = self._compile_expr(s.dest, unit)
+
+            def run_send(fr: Frame):
+                arr = fr.arrays[name]
+                subs = self._resolve_whole_dims(arr, section_fn(fr))
+                payload = arr.read_section(subs)
+                self.ctx.send(int(dest_fn(fr)), tag, payload,
+                              payload.size * arr.element_bytes)
+
+            return run_send
+        if isinstance(s, A.Recv):
+            src_fn = self._compile_expr(s.src, unit)
+
+            def run_recv(fr: Frame):
+                arr = fr.arrays[name]
+                subs = self._resolve_whole_dims(arr, section_fn(fr))
+                payload = self.ctx.recv(int(src_fn(fr)), tag)
+                arr.write_section(subs, payload)
+
+            return run_recv
+        # broadcast
+        root_fn = self._compile_expr(s.root, unit)
+
+        def run_bcast(fr: Frame):
+            arr = fr.arrays[name]
+            subs = self._resolve_whole_dims(arr, section_fn(fr))
+            root = int(root_fn(fr))
+            me = self.ctx.rank
+            payload = arr.read_section(subs) if me == root else None
+            nbytes = arr.section_bytes(subs)
+            data = self.ctx.broadcast(root, payload, nbytes)
+            if me != root:
+                arr.write_section(subs, data)
+
+        return run_bcast
+
+    def _compile_pack(self, s: A.Stmt, unit: A.Procedure) -> StmtFn:
+        """Aggregated multi-section messages (SendPack/RecvPack): all
+        parts travel as one message (one startup charge)."""
+        part_fns = [
+            (array, self._compile_section(list(subs), unit))
+            for array, subs in s.parts
+        ]
+        tag = s.tag
+        if isinstance(s, A.SendPack):
+            dest_fn = self._compile_expr(s.dest, unit)
+
+            def run_sendpack(fr: Frame):
+                payloads = []
+                nbytes = 0
+                for array, sec_fn in part_fns:
+                    arr = fr.arrays[array]
+                    subs = self._resolve_whole_dims(arr, sec_fn(fr))
+                    data = arr.read_section(subs)
+                    payloads.append(data)
+                    nbytes += data.size * arr.element_bytes
+                self.ctx.send(int(dest_fn(fr)), tag, payloads, nbytes)
+
+            return run_sendpack
+        src_fn = self._compile_expr(s.src, unit)
+
+        def run_recvpack(fr: Frame):
+            payloads = self.ctx.recv(int(src_fn(fr)), tag)
+            for (array, sec_fn), data in zip(part_fns, payloads):
+                arr = fr.arrays[array]
+                subs = self._resolve_whole_dims(arr, sec_fn(fr))
+                arr.write_section(subs, data)
+
+        return run_recvpack
+
+    def _compile_reduce(self, s: A.GlobalReduce) -> StmtFn:
+        var, op, aux = s.var, s.op, s.aux
+
+        def run_reduce(fr: Frame):
+            if op == "maxloc":
+                value = (fr.scalars[var], fr.scalars[aux])
+                result = self.ctx.allreduce(value, "maxloc", 16)
+                fr.scalars[var], fr.scalars[aux] = result
+            else:
+                result = self.ctx.allreduce(fr.scalars[var], op, 8)
+                fr.scalars[var] = result
+
+        return run_reduce
+
+    def _compile_remap(self, s: A.Remap, unit: A.Procedure) -> StmtFn:
+        name = s.array
+        specs = list(s.to_specs)
+
+        def run_remap(fr: Frame):
+            arr = fr.arrays[name]
+            if self.ctx is None:
+                return  # sequential: remapping is a no-op
+            new = Distribution.from_specs(specs, arr.bounds, self.ctx.nprocs)
+            remap_array(self.ctx, arr, new)
+
+        return run_remap
+
+
+def _binop_fn(op: str, lf: ExprFn, rf: ExprFn) -> ExprFn:
+    if op == "+":
+        return lambda fr: lf(fr) + rf(fr)
+    if op == "-":
+        return lambda fr: lf(fr) - rf(fr)
+    if op == "*":
+        return lambda fr: lf(fr) * rf(fr)
+    if op == "/":
+        def div(fr):
+            a, b = lf(fr), rf(fr)
+            if isinstance(a, (int, np.integer)) and isinstance(b, (int, np.integer)):
+                q = abs(a) // abs(b)
+                return int(q if (a >= 0) == (b >= 0) else -q)
+            return a / b
+
+        return div
+    if op == "**":
+        return lambda fr: lf(fr) ** rf(fr)
+    if op == "==":
+        return lambda fr: lf(fr) == rf(fr)
+    if op == "/=":
+        return lambda fr: lf(fr) != rf(fr)
+    if op == "<":
+        return lambda fr: lf(fr) < rf(fr)
+    if op == "<=":
+        return lambda fr: lf(fr) <= rf(fr)
+    if op == ">":
+        return lambda fr: lf(fr) > rf(fr)
+    if op == ">=":
+        return lambda fr: lf(fr) >= rf(fr)
+    if op == ".and.":
+        return lambda fr: bool(lf(fr)) and bool(rf(fr))
+    if op == ".or.":
+        return lambda fr: bool(lf(fr)) or bool(rf(fr))
+    raise InterpError(f"unknown operator {op}")
+
+
+# ----------------------------------------------------------------------
+# drivers
+# ----------------------------------------------------------------------
+
+
+def run_sequential(
+    program: A.Program,
+    init_fn: Callable[[str, tuple[int, ...]], float] = default_init,
+) -> Frame:
+    """Reference execution of the original (pre-compilation) program."""
+    return Interpreter(program, ctx=None, init_fn=init_fn).run()
+
+
+class SPMDResult:
+    """Result of a distributed run: stats, per-rank frames, and arrays
+    gathered back to global shape from their owners."""
+
+    def __init__(self, stats, frames: list[Frame], prints: list[str]) -> None:
+        self.stats = stats
+        self.frames = frames
+        self.prints = prints
+
+    def gathered(self, name: str) -> np.ndarray:
+        """Assemble the global array from each rank's owned regions
+        (per the array's final distribution)."""
+        arrs = [fr.arrays[name] for fr in self.frames]
+        result = np.array(arrs[0].data, copy=True)
+        dist = arrs[0].dist
+        if dist is None or dist.is_replicated:
+            return result
+        los = [lo for lo, _ in arrs[0].bounds]
+        for rank, arr in enumerate(arrs):
+            d = arr.dist if arr.dist is not None else dist
+            for piece in d.local_index_sets(rank):
+                if piece.empty:
+                    continue
+                subs = [(dd.lo, dd.hi, dd.step) for dd in piece.dims]
+                slices = tuple(
+                    slice(lo - o, hi - o + 1, st)
+                    for (lo, hi, st), o in zip(subs, los)
+                )
+                result[slices] = arr.data[slices]
+        return result
+
+
+def run_spmd(
+    program: A.Program,
+    nprocs: int,
+    cost: CostModel = IPSC860,
+    initial_dists: Optional[dict[tuple[str, str], Distribution]] = None,
+    init_fn: Callable[[str, tuple[int, ...]], float] = default_init,
+    timeout_s: float = 120.0,
+) -> SPMDResult:
+    """Run a compiled SPMD node program on the simulated machine."""
+    machine = Machine(nprocs, cost, timeout_s)
+    prints: list[str] = []
+
+    def node(ctx: ProcContext) -> Frame:
+        interp = Interpreter(
+            program, ctx=ctx, initial_dists=initial_dists, init_fn=init_fn
+        )
+        frame = interp.run()
+        prints.extend(interp.prints)
+        return frame
+
+    frames = machine.run(node)
+    return SPMDResult(machine.stats, frames, prints)

@@ -1,0 +1,5 @@
+"""Intermediate representation: control-flow graphs."""
+
+from .cfg import CFG, Node
+
+__all__ = ["CFG", "Node"]

@@ -1,0 +1,116 @@
+"""Control-flow graph construction from the structured AST.
+
+The dialect has structured control flow only (DO / IF / DO WHILE — no
+GOTO), so the CFG is built by a simple recursive translation.  Nodes are
+either a single statement or one of the synthetic markers ``entry`` /
+``exit`` / ``loop-head``.  Data-flow analyses (reaching decompositions,
+live decompositions, reaching definitions, live variables) run on this
+graph with a standard worklist solver (:mod:`repro.analysis.dataflow`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from ..lang import ast as A
+
+
+@dataclass
+class Node:
+    """One CFG node.
+
+    ``kind`` is "entry", "exit", "stmt", or "loop-head"; ``stmt`` is the
+    underlying statement for "stmt" and "loop-head" (the Do itself).
+    """
+
+    id: int
+    kind: str
+    stmt: Optional[A.Stmt] = None
+    succs: list[int] = field(default_factory=list)
+    preds: list[int] = field(default_factory=list)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.kind}#{self.id}>"
+
+
+class CFG:
+    """Control-flow graph of one procedure body."""
+
+    def __init__(self) -> None:
+        self.nodes: list[Node] = []
+        self.entry = self._new("entry")
+        self.exit = self._new("exit")
+
+    def _new(self, kind: str, stmt: Optional[A.Stmt] = None) -> Node:
+        n = Node(len(self.nodes), kind, stmt)
+        self.nodes.append(n)
+        return n
+
+    def add_edge(self, a: Node, b: Node) -> None:
+        if b.id not in a.succs:
+            a.succs.append(b.id)
+            b.preds.append(a.id)
+
+    def node(self, nid: int) -> Node:
+        return self.nodes[nid]
+
+    def stmt_nodes(self) -> Iterator[Node]:
+        for n in self.nodes:
+            if n.stmt is not None:
+                yield n
+
+    def node_of(self, stmt: A.Stmt) -> Node:
+        for n in self.nodes:
+            if n.stmt is stmt:
+                return n
+        raise KeyError(f"statement not in CFG: {stmt!r}")
+
+    # -- construction -----------------------------------------------------
+
+    @staticmethod
+    def build(body: list[A.Stmt]) -> "CFG":
+        cfg = CFG()
+        last = cfg._lower_block(body, cfg.entry)
+        cfg.add_edge(last, cfg.exit)
+        # RETURN/STOP statements also reach exit (handled in _lower_block)
+        return cfg
+
+    def _lower_block(self, body: list[A.Stmt], pred: Node) -> Node:
+        """Lower a statement list; return the node control falls out of."""
+        cur = pred
+        for s in body:
+            cur = self._lower_stmt(s, cur)
+        return cur
+
+    def _lower_stmt(self, s: A.Stmt, pred: Node) -> Node:
+        if isinstance(s, A.If):
+            head = self._new("stmt", s)
+            self.add_edge(pred, head)
+            t_end = self._lower_block(s.then_body, head)
+            join = self._new("join")
+            self.add_edge(t_end, join)
+            if s.else_body:
+                e_end = self._lower_block(s.else_body, head)
+                self.add_edge(e_end, join)
+            else:
+                self.add_edge(head, join)
+            return join
+        if isinstance(s, (A.Do, A.DoWhile)):
+            head = self._new("loop-head", s)
+            self.add_edge(pred, head)
+            body_end = self._lower_block(s.body, head)
+            self.add_edge(body_end, head)  # back edge
+            after = self._new("join")
+            self.add_edge(head, after)  # zero-trip / loop exit
+            return after
+        if isinstance(s, (A.Return, A.Stop)):
+            n = self._new("stmt", s)
+            self.add_edge(pred, n)
+            self.add_edge(n, self.exit)
+            # control does not fall through; dead node keeps lowering simple
+            dead = self._new("join")
+            return dead
+        n = self._new("stmt", s)
+        self.add_edge(pred, n)
+        return n

@@ -1,0 +1,19 @@
+"""Fortran D dialect front end: lexer, parser, AST, pretty printer."""
+
+from . import ast
+from .lexer import LexError, tokenize
+from .parser import ParseError, Parser, parse
+from .printer import expr_str, procedure_str, program_str, stmt_lines
+
+__all__ = [
+    "ast",
+    "tokenize",
+    "LexError",
+    "parse",
+    "Parser",
+    "ParseError",
+    "expr_str",
+    "stmt_lines",
+    "procedure_str",
+    "program_str",
+]

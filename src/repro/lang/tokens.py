@@ -1,0 +1,127 @@
+"""Token definitions for the Fortran D dialect accepted by the front end.
+
+The language is a line-oriented free-form Fortran 77 subset extended with
+the Fortran D data-placement statements (``DECOMPOSITION``, ``ALIGN``,
+``DISTRIBUTE``).  Identifiers may contain ``$`` because the compiler's own
+generated names (``my$p``, ``ub$1``, ``F1$row``) follow the convention used
+in the paper.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TokKind(enum.Enum):
+    """Lexical category of a token."""
+
+    IDENT = "ident"
+    INT = "int"
+    REAL = "real"
+    STRING = "string"
+    OP = "op"            # + - * / ** = ( ) , : < > <= >= == /= etc.
+    KEYWORD = "keyword"
+    NEWLINE = "newline"
+    EOF = "eof"
+
+
+#: Reserved words recognized by the parser.  Fortran is case-insensitive;
+#: the lexer lowercases identifiers before the keyword check.
+KEYWORDS = frozenset(
+    {
+        "program",
+        "subroutine",
+        "function",
+        "end",
+        "enddo",
+        "endif",
+        "do",
+        "if",
+        "then",
+        "else",
+        "elseif",
+        "call",
+        "return",
+        "stop",
+        "continue",
+        "real",
+        "integer",
+        "logical",
+        "double",
+        "precision",
+        "parameter",
+        "dimension",
+        "common",
+        "external",
+        "intrinsic",
+        "decomposition",
+        "align",
+        "distribute",
+        "with",
+        "while",
+        "print",
+        "goto",
+    }
+)
+
+#: Multi-character operators, longest first so the lexer can use greedy
+#: matching.
+MULTI_OPS = (
+    "**",
+    "==",
+    "/=",
+    "<=",
+    ">=",
+    "//",
+)
+
+SINGLE_OPS = "+-*/=(),:<>"
+
+#: Fortran dotted operators mapped to their canonical spelling.
+DOT_OPS = {
+    ".eq.": "==",
+    ".ne.": "/=",
+    ".lt.": "<",
+    ".le.": "<=",
+    ".gt.": ">",
+    ".ge.": ">=",
+    ".and.": ".and.",
+    ".or.": ".or.",
+    ".not.": ".not.",
+    ".true.": ".true.",
+    ".false.": ".false.",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token.
+
+    Attributes
+    ----------
+    kind:
+        Lexical category.
+    text:
+        Canonical text (identifiers and keywords are lowercased).
+    line:
+        1-based source line, for diagnostics.
+    col:
+        1-based source column of the first character.
+    """
+
+    kind: TokKind
+    text: str
+    line: int
+    col: int
+
+    def is_kw(self, word: str) -> bool:
+        """Return True when this token is the keyword *word*."""
+        return self.kind is TokKind.KEYWORD and self.text == word
+
+    def is_op(self, op: str) -> bool:
+        """Return True when this token is the operator *op*."""
+        return self.kind is TokKind.OP and self.text == op
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.kind.value}({self.text!r})@{self.line}:{self.col}"

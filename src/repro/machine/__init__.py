@@ -1,0 +1,18 @@
+"""Simulated MIMD distributed-memory machine."""
+
+from .costmodel import FAST_NETWORK, FREE, IPSC860, CostModel
+from .machine import Machine, ProcContext
+from .network import Network, SimulationError
+from .stats import RunStats
+
+__all__ = [
+    "CostModel",
+    "IPSC860",
+    "FAST_NETWORK",
+    "FREE",
+    "Machine",
+    "ProcContext",
+    "Network",
+    "SimulationError",
+    "RunStats",
+]

@@ -1,0 +1,61 @@
+"""Communication / computation cost model.
+
+The authors evaluated on an Intel iPSC/860 hypercube.  We model node
+programs with the standard linear model: a message of ``b`` bytes costs
+the sender ``alpha`` (startup/latency) and arrives ``alpha + b * beta``
+after the send; collectives pay a ``ceil(log2 P)``-stage tree.
+
+Default constants approximate the iPSC/860 (startup ~100 µs, ~2.8 MB/s
+sustained bandwidth, a few MFLOPS of compiled node code).  Absolute
+numbers are not the point — the paper's conclusions rest on message
+*counts* and *volumes*, which the simulator measures exactly; the time
+model preserves orderings and rough ratios.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """All times in microseconds."""
+
+    alpha: float = 100.0          # message startup (each message)
+    beta: float = 0.36            # per byte transfer time (~2.8 MB/s)
+    flop: float = 0.15            # one floating-point/scalar operation
+    loop_overhead: float = 0.10   # per executed loop iteration
+    copy: float = 0.01            # per byte local pack/unpack
+    element_bytes: int = 8        # REAL*8 elements
+
+    def send_cost(self, nbytes: int) -> float:
+        """Time the sender is busy."""
+        return self.alpha + self.copy * nbytes
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Send-start to data-available-at-receiver latency."""
+        return self.alpha + self.beta * nbytes
+
+    def recv_cost(self, nbytes: int) -> float:
+        """Receiver-side unpack time once the message is available."""
+        return self.copy * nbytes
+
+    def collective_cost(self, nprocs: int, nbytes: int) -> float:
+        """Tree broadcast/reduce: log2(P) stages of alpha + b*beta."""
+        stages = max(1, math.ceil(math.log2(max(nprocs, 2))))
+        return stages * (self.alpha + self.beta * nbytes)
+
+    def barrier_cost(self, nprocs: int) -> float:
+        stages = max(1, math.ceil(math.log2(max(nprocs, 2))))
+        return stages * self.alpha
+
+
+#: iPSC/860-flavoured default model.
+IPSC860 = CostModel()
+
+#: A "fast network" variant for sensitivity studies (ablation benches).
+FAST_NETWORK = CostModel(alpha=10.0, beta=0.036)
+
+#: Zero-cost model: pure counting (useful in unit tests).
+FREE = CostModel(alpha=0.0, beta=0.0, flop=0.0, loop_overhead=0.0, copy=0.0)

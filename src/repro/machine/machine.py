@@ -1,0 +1,156 @@
+"""The simulated MIMD distributed-memory machine.
+
+A :class:`Machine` runs one Python thread per node processor.  Each node
+sees a :class:`ProcContext` — its rank, virtual clock, and communication
+primitives — and runs the same node program (SPMD).  Exceptions on any
+node abort the whole run and are re-raised on the caller's thread.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from typing import Any, Callable
+
+from .costmodel import CostModel, IPSC860
+from .network import CollectiveContext, Network, SimulationError
+from .stats import RunStats
+
+
+class ProcContext:
+    """One node processor: rank, virtual clock, and communication ops."""
+
+    def __init__(self, rank: int, machine: "Machine") -> None:
+        self.rank = rank
+        self.machine = machine
+        self.clock = 0.0  # virtual µs
+        self.work = 0.0   # scalar operations executed (compute only)
+        self.cost = machine.cost
+
+    @property
+    def nprocs(self) -> int:
+        return self.machine.nprocs
+
+    @property
+    def stats(self) -> RunStats:
+        return self.machine.stats
+
+    # -- computation --------------------------------------------------------
+
+    def compute(self, ops: float) -> None:
+        """Advance the clock by *ops* scalar operations."""
+        self.clock += ops * self.cost.flop
+        self.work += ops
+
+    def loop_tick(self, iters: int = 1) -> None:
+        self.clock += iters * self.cost.loop_overhead
+
+    def guard_tick(self, ops: float = 1.0) -> None:
+        self.clock += ops * self.cost.flop
+        self.stats.record_guards()
+
+    # -- point-to-point ------------------------------------------------------
+
+    def send(self, dst: int, tag: int, payload: Any, nbytes: int) -> None:
+        self.clock = self.machine.network.send(
+            self.rank, dst, tag, payload, nbytes, self.clock
+        )
+
+    def recv(self, src: int, tag: int) -> Any:
+        payload, self.clock = self.machine.network.recv(
+            self.rank, src, tag, self.clock
+        )
+        return payload
+
+    # -- collectives ----------------------------------------------------------
+
+    def broadcast(self, root: int, payload: Any, nbytes: int) -> Any:
+        data, self.clock = self.machine.collectives.broadcast(
+            self.rank, root, payload, nbytes, self.clock
+        )
+        return data
+
+    def allreduce(self, value: Any, op: str, nbytes: int = 8) -> Any:
+        result, self.clock = self.machine.collectives.allreduce(
+            self.rank, value, op, nbytes, self.clock
+        )
+        return result
+
+    def barrier(self) -> None:
+        self.clock = self.machine.collectives.barrier(self.rank, self.clock)
+
+    def exchange(self, outgoing: dict[int, Any], nbytes_out: int) -> dict[int, Any]:
+        incoming, self.clock = self.machine.collectives.exchange(
+            self.rank, outgoing, nbytes_out, self.clock
+        )
+        return incoming
+
+
+class Machine:
+    """P simulated node processors plus network and collectives."""
+
+    def __init__(
+        self,
+        nprocs: int,
+        cost: CostModel = IPSC860,
+        timeout_s: float = 60.0,
+    ) -> None:
+        if nprocs < 1:
+            raise ValueError("need at least one processor")
+        self.nprocs = nprocs
+        self.cost = cost
+        self.stats = RunStats(nprocs=nprocs)
+        self.network = Network(nprocs, cost, self.stats, timeout_s)
+        self.collectives = CollectiveContext(
+            nprocs, cost, self.stats, timeout_s
+        )
+
+    def run(self, node_program: Callable[[ProcContext], Any]) -> list[Any]:
+        """Run *node_program* on every node; returns per-rank results.
+
+        The first exception raised on any node aborts the run and is
+        re-raised here with the failing rank noted.
+        """
+        contexts = [ProcContext(r, self) for r in range(self.nprocs)]
+        results: list[Any] = [None] * self.nprocs
+        errors: list[tuple[int, BaseException, str]] = []
+        lock = threading.Lock()
+
+        def runner(ctx: ProcContext) -> None:
+            try:
+                results[ctx.rank] = node_program(ctx)
+            except BaseException as e:  # noqa: BLE001 - reported to caller
+                with lock:
+                    errors.append((ctx.rank, e, traceback.format_exc()))
+                self.network.fail()
+                # break the collective barrier so peers don't hang
+                try:
+                    self.collectives._barrier.abort()
+                except Exception:
+                    pass
+            finally:
+                self.stats.record_proc_time(ctx.rank, ctx.clock)
+                self.stats.record_proc_work(ctx.rank, ctx.work)
+
+        if self.nprocs == 1:
+            runner(contexts[0])
+        else:
+            threads = [
+                threading.Thread(
+                    target=runner, args=(c,), name=f"node-{c.rank}",
+                    daemon=True,
+                )
+                for c in contexts
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        if errors:
+            rank, exc, tb = errors[0]
+            if isinstance(exc, SimulationError):
+                raise SimulationError(f"[node {rank}] {exc}") from exc
+            raise SimulationError(
+                f"node {rank} failed: {exc}\n{tb}"
+            ) from exc
+        return results

@@ -1,0 +1,221 @@
+"""Message-passing network with virtual-time semantics.
+
+Point-to-point messages carry a payload plus the virtual time at which
+they become available at the receiver (sender clock at send + latency +
+bandwidth term).  A blocking receive matches on ``(src, tag)`` and
+advances the receiver's clock to ``max(own clock, arrival time)``.
+
+Threads provide the concurrency (one per simulated node); a condition
+variable per destination wakes blocked receivers.  Deadlocks (e.g. a
+miscompiled program receiving a message nobody sends) surface as a
+:class:`SimulationError` after a wall-clock timeout rather than a hang.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Any
+
+from .costmodel import CostModel
+from .stats import RunStats
+
+
+class SimulationError(Exception):
+    """Deadlock or protocol error inside the simulated machine."""
+
+
+@dataclass
+class _Message:
+    src: int
+    tag: int
+    payload: Any
+    nbytes: int
+    available_at: float  # virtual µs
+
+
+class Network:
+    """The interconnect shared by all node processors."""
+
+    def __init__(
+        self,
+        nprocs: int,
+        cost: CostModel,
+        stats: RunStats,
+        timeout_s: float = 60.0,
+    ) -> None:
+        self.nprocs = nprocs
+        self.cost = cost
+        self.stats = stats
+        self.timeout_s = timeout_s
+        self._queues: list[deque[_Message]] = [deque() for _ in range(nprocs)]
+        self._conds = [threading.Condition() for _ in range(nprocs)]
+        self._failed = threading.Event()
+
+    def fail(self) -> None:
+        """Wake all blocked receivers after an error elsewhere."""
+        self._failed.set()
+        for c in self._conds:
+            with c:
+                c.notify_all()
+
+    def send(
+        self, src: int, dst: int, tag: int, payload: Any, nbytes: int,
+        now: float,
+    ) -> float:
+        """Deliver a message; returns the sender's clock after the send."""
+        if not (0 <= dst < self.nprocs):
+            raise SimulationError(f"send to invalid processor {dst}")
+        if dst == src:
+            raise SimulationError(f"processor {src} sending to itself")
+        sender_after = now + self.cost.send_cost(nbytes)
+        msg = _Message(src, tag, payload, nbytes,
+                       now + self.cost.transfer_time(nbytes))
+        cond = self._conds[dst]
+        with cond:
+            self._queues[dst].append(msg)
+            cond.notify_all()
+        self.stats.record_message(nbytes)
+        return sender_after
+
+    def recv(self, dst: int, src: int, tag: int, now: float) -> tuple[Any, float]:
+        """Blocking matched receive; returns (payload, new clock)."""
+        if not (0 <= src < self.nprocs):
+            raise SimulationError(f"recv from invalid processor {src}")
+        cond = self._conds[dst]
+        with cond:
+            while True:
+                q = self._queues[dst]
+                for i, m in enumerate(q):
+                    if m.src == src and m.tag == tag:
+                        del q[i]
+                        arrive = max(now, m.available_at)
+                        return m.payload, arrive + self.cost.recv_cost(m.nbytes)
+                if self._failed.is_set():
+                    raise SimulationError(
+                        f"processor {dst} aborted while waiting for "
+                        f"(src={src}, tag={tag})"
+                    )
+                if not cond.wait(timeout=self.timeout_s):
+                    self.fail()
+                    raise SimulationError(
+                        f"deadlock: processor {dst} waited for message "
+                        f"(src={src}, tag={tag}) that never arrived"
+                    )
+
+    def pending(self, dst: int) -> int:
+        with self._conds[dst]:
+            return len(self._queues[dst])
+
+
+class CollectiveContext:
+    """Rendezvous helper for collectives (broadcast / reduce / barrier).
+
+    SPMD programs execute collectives in the same order on every node, so
+    a reusable barrier plus a shared slot per phase suffices.  Virtual
+    time: all participants synchronize at ``max(clocks)`` then pay the
+    tree cost.
+    """
+
+    def __init__(self, nprocs: int, cost: CostModel, stats: RunStats,
+                 timeout_s: float = 60.0) -> None:
+        self.nprocs = nprocs
+        self.cost = cost
+        self.stats = stats
+        self.timeout_s = timeout_s
+        self._barrier = threading.Barrier(nprocs)
+        self._lock = threading.Lock()
+        self._slots: dict[str, Any] = {}
+        self._clocks: list[float] = [0.0] * nprocs
+
+    def _sync(self) -> None:
+        try:
+            self._barrier.wait(timeout=self.timeout_s)
+        except threading.BrokenBarrierError as e:  # pragma: no cover
+            raise SimulationError(
+                "collective barrier broken (a node died or deadlocked)"
+            ) from e
+
+    def broadcast(self, rank: int, root: int, payload: Any, nbytes: int,
+                  now: float) -> tuple[Any, float]:
+        """All nodes call; returns (payload, new clock)."""
+        self._clocks[rank] = now
+        if rank == root:
+            with self._lock:
+                self._slots["bcast"] = payload
+        self._sync()
+        data = self._slots["bcast"]
+        t = max(self._clocks) + self.cost.collective_cost(self.nprocs, nbytes)
+        self._sync()
+        if rank == root:
+            self.stats.record_collective(nbytes)
+            with self._lock:
+                self._slots.pop("bcast", None)
+        self._sync()
+        return data, t
+
+    def allreduce(self, rank: int, value: Any, op: str, nbytes: int,
+                  now: float) -> tuple[Any, float]:
+        """Combining all-reduce; op in {"sum", "max", "min", "maxloc"}."""
+        self._clocks[rank] = now
+        with self._lock:
+            self._slots.setdefault("reduce", []).append(value)
+        self._sync()
+        values = self._slots["reduce"]
+        if op == "sum":
+            result = sum(values)
+        elif op == "max":
+            result = max(values)
+        elif op == "min":
+            result = min(values)
+        elif op == "maxloc":
+            # values are (magnitude, index) pairs; ties break to the
+            # smallest index for determinism
+            result = max(values, key=lambda p: (p[0], -p[1]))
+        else:
+            raise SimulationError(f"unknown reduction {op!r}")
+        t = max(self._clocks) + 2 * self.cost.collective_cost(
+            self.nprocs, nbytes
+        )
+        self._sync()
+        if rank == 0:
+            self.stats.record_collective(nbytes * self.nprocs)
+            with self._lock:
+                self._slots.pop("reduce", None)
+        self._sync()
+        return result, t
+
+    def barrier(self, rank: int, now: float) -> float:
+        self._clocks[rank] = now
+        self._sync()
+        t = max(self._clocks) + self.cost.barrier_cost(self.nprocs)
+        self._sync()
+        return t
+
+    def exchange(self, rank: int, outgoing: dict[int, Any], nbytes_out: int,
+                 now: float) -> tuple[dict[int, Any], float]:
+        """All-to-all personalized exchange (used by the remap runtime):
+        each node contributes {dst: payload}; receives {src: payload}."""
+        self._clocks[rank] = now
+        with self._lock:
+            table = self._slots.setdefault("exchange", {})
+            table[rank] = outgoing
+        self._sync()
+        table = self._slots["exchange"]
+        incoming = {
+            src: msgs[rank]
+            for src, msgs in table.items()
+            if rank in msgs
+        }
+        nmsgs = sum(1 for msgs in table.values() for d in msgs)
+        total_bytes = nbytes_out  # per-proc accounting below
+        t = max(self._clocks) + self.cost.collective_cost(
+            self.nprocs, max(total_bytes, 1)
+        )
+        self._sync()
+        if rank == 0:
+            with self._lock:
+                self._slots.pop("exchange", None)
+        self._sync()
+        return incoming, t

@@ -1,0 +1,108 @@
+"""Execution statistics collected by the machine simulator.
+
+Message counts and byte volumes are exact; times follow the
+:class:`~repro.machine.costmodel.CostModel`.  These are the quantities the
+benchmark harness reports for every reproduced table/figure.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RunStats:
+    """Aggregate statistics of one SPMD run."""
+
+    nprocs: int = 1
+    messages: int = 0            # point-to-point messages
+    bytes: int = 0               # point-to-point payload bytes
+    collectives: int = 0         # broadcast/reduce operations
+    collective_bytes: int = 0
+    remaps: int = 0              # physical remap operations
+    remap_bytes: int = 0
+    flops: float = 0.0           # scalar operations executed (all procs)
+    guards: int = 0              # guard (IF) evaluations executed
+    proc_times: dict[int, float] = field(default_factory=dict)  # µs
+    #: scalar operations executed per processor (pure compute work,
+    #: excluding waiting -- exposes load imbalance that collective
+    #: synchronization hides in the clocks)
+    proc_work: dict[int, float] = field(default_factory=dict)
+
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    # -- recording (thread-safe) ------------------------------------------
+
+    def record_message(self, nbytes: int) -> None:
+        with self._lock:
+            self.messages += 1
+            self.bytes += nbytes
+
+    def record_collective(self, nbytes: int) -> None:
+        with self._lock:
+            self.collectives += 1
+            self.collective_bytes += nbytes
+
+    def record_remap(self, nbytes: int) -> None:
+        with self._lock:
+            self.remaps += 1
+            self.remap_bytes += nbytes
+
+    def record_flops(self, n: float) -> None:
+        with self._lock:
+            self.flops += n
+
+    def record_guards(self, n: int = 1) -> None:
+        with self._lock:
+            self.guards += n
+
+    def record_proc_time(self, rank: int, t: float) -> None:
+        with self._lock:
+            self.proc_times[rank] = t
+
+    def record_proc_work(self, rank: int, ops: float) -> None:
+        with self._lock:
+            self.proc_work[rank] = ops
+
+    # -- reporting ---------------------------------------------------------
+
+    @property
+    def time_us(self) -> float:
+        """Simulated makespan (max over processor virtual clocks)."""
+        return max(self.proc_times.values(), default=0.0)
+
+    @property
+    def time_ms(self) -> float:
+        return self.time_us / 1000.0
+
+    @property
+    def load_imbalance(self) -> float:
+        """max/mean per-processor compute work (1.0 = perfectly
+        balanced)."""
+        if not self.proc_work:
+            return 1.0
+        vals = list(self.proc_work.values())
+        mean = sum(vals) / len(vals)
+        if mean <= 0:
+            return 1.0
+        return max(vals) / mean
+
+    @property
+    def total_messages(self) -> int:
+        """Point-to-point plus collective operations."""
+        return self.messages + self.collectives
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes + self.collective_bytes + self.remap_bytes
+
+    def summary(self) -> str:
+        return (
+            f"P={self.nprocs}  time={self.time_ms:.3f} ms  "
+            f"msgs={self.messages}  bytes={self.bytes}  "
+            f"colls={self.collectives}  remaps={self.remaps}  "
+            f"guards={self.guards}"
+        )

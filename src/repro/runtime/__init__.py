@@ -1,0 +1,14 @@
+"""Fortran D run-time library: intrinsics and remapping."""
+
+from .intrinsics import CONTEXT_INTRINSICS, PURE_INTRINSICS, f_func, g_func
+from .remap import mark_array, remap_array, transfer_sections
+
+__all__ = [
+    "PURE_INTRINSICS",
+    "CONTEXT_INTRINSICS",
+    "f_func",
+    "g_func",
+    "remap_array",
+    "mark_array",
+    "transfer_sections",
+]

@@ -1,0 +1,106 @@
+"""Tests for parameter-passing alias analysis and the §6.4 restriction
+(no dynamic data decomposition of aliased variables)."""
+
+import pytest
+
+from repro.analysis.aliasing import (
+    AliasedRedistributionError,
+    check_dynamic_decomposition,
+    compute_aliases,
+)
+from repro.callgraph.acg import ACG
+from repro.core import Options, compile_program
+from repro.lang import parse
+
+
+class TestAliasDetection:
+    def test_same_actual_twice(self):
+        src = (
+            "program p\nreal x(10)\ncall f(x, x)\nend\n"
+            "subroutine f(a, b)\nreal a(10), b(10)\na(1) = b(2)\nend\n"
+        )
+        acg = ACG(parse(src))
+        info = compute_aliases(acg)
+        assert info.aliased("f", "a", "b")
+        assert info.aliased_formals("f") == {"a", "b"}
+
+    def test_distinct_actuals_do_not_alias(self):
+        src = (
+            "program p\nreal x(10), y(10)\ncall f(x, y)\nend\n"
+            "subroutine f(a, b)\nreal a(10), b(10)\na(1) = b(2)\nend\n"
+        )
+        info = compute_aliases(ACG(parse(src)))
+        assert not info.aliased("f", "a", "b")
+        assert info.aliased_formals("f") == set()
+
+    def test_alias_propagates_down_chain(self):
+        src = (
+            "program p\nreal x(10)\ncall f(x, x)\nend\n"
+            "subroutine f(a, b)\nreal a(10), b(10)\ncall g(a, b)\nend\n"
+            "subroutine g(c, d)\nreal c(10), d(10)\nc(1) = d(2)\nend\n"
+        )
+        info = compute_aliases(ACG(parse(src)))
+        assert info.aliased("g", "c", "d")
+
+    def test_alias_does_not_leak_to_sibling_calls(self):
+        src = (
+            "program p\nreal x(10), y(10)\ncall f(x, x)\ncall f(x, y)\nend\n"
+            "subroutine f(a, b)\nreal a(10), b(10)\na(1) = b(2)\nend\n"
+        )
+        info = compute_aliases(ACG(parse(src)))
+        # may-alias: the (x, x) site makes a/b aliased (over all sites)
+        assert info.aliased("f", "a", "b")
+
+    def test_three_way_alias(self):
+        src = (
+            "program p\nreal x(10)\ncall f(x, x, x)\nend\n"
+            "subroutine f(a, b, c)\nreal a(10), b(10), c(10)\n"
+            "a(1) = b(2) + c(3)\nend\n"
+        )
+        info = compute_aliases(ACG(parse(src)))
+        assert info.aliased("f", "a", "b")
+        assert info.aliased("f", "b", "c")
+        assert info.aliased("f", "a", "c")
+
+
+class TestSection64Restriction:
+    def test_dynamic_decomposition_of_alias_rejected(self):
+        src = (
+            "program p\nreal x(16)\ndistribute x(block)\n"
+            "call f(x, x)\nend\n"
+            "subroutine f(a, b)\nreal a(16), b(16)\n"
+            "distribute a(cyclic)\n"
+            "do i = 1, 16\na(i) = f(b(i))\nenddo\nend\n"
+        )
+        acg = ACG(parse(src))
+        with pytest.raises(AliasedRedistributionError, match="aliased"):
+            check_dynamic_decomposition(acg, compute_aliases(acg))
+
+    def test_compile_program_enforces_it(self):
+        src = (
+            "program p\nreal x(16)\ndistribute x(block)\n"
+            "call f(x, x)\nend\n"
+            "subroutine f(a, b)\nreal a(16), b(16)\n"
+            "distribute a(cyclic)\n"
+            "do i = 1, 16\na(i) = f(b(i))\nenddo\nend\n"
+        )
+        with pytest.raises(AliasedRedistributionError):
+            compile_program(src, Options(nprocs=4))
+
+    def test_unaliased_dynamic_decomposition_allowed(self):
+        src = (
+            "program p\nreal x(16)\ndistribute x(block)\ncall f(x)\nend\n"
+            "subroutine f(a)\nreal a(16)\ndistribute a(cyclic)\n"
+            "do i = 1, 16\na(i) = f(a(i))\nenddo\nend\n"
+        )
+        acg = ACG(parse(src))
+        check_dynamic_decomposition(acg, compute_aliases(acg))  # no raise
+
+    def test_aliased_without_redistribution_allowed(self):
+        src = (
+            "program p\nreal x(16)\ndistribute x(block)\ncall f(x, x)\nend\n"
+            "subroutine f(a, b)\nreal a(16), b(16)\n"
+            "do i = 1, 16\na(i) = b(i) + 1\nenddo\nend\n"
+        )
+        acg = ACG(parse(src))
+        check_dynamic_decomposition(acg, compute_aliases(acg))  # no raise

@@ -1,0 +1,146 @@
+"""Tests for the CFG builder and the generic dataflow solver."""
+
+from repro.analysis.dataflow import gen_kill_transfer, solve
+from repro.ir.cfg import CFG
+from repro.lang import ast as A
+from repro.lang import parse
+
+
+def body_of(src):
+    return parse(src).main.body
+
+
+class TestCFGConstruction:
+    def test_straight_line(self):
+        cfg = CFG.build(body_of("program p\na = 1\nb = 2\nend\n"))
+        stmts = list(cfg.stmt_nodes())
+        assert len(stmts) == 2
+        # entry -> a -> b -> exit
+        assert cfg.entry.succs == [stmts[0].id]
+        assert stmts[1].succs == [cfg.exit.id]
+
+    def test_if_diamond(self):
+        cfg = CFG.build(body_of(
+            "program p\nc = 1\nif (c > 0) then\na = 1\nelse\nb = 2\nendif\n"
+            "d = 3\nend\n"
+        ))
+        head = next(n for n in cfg.stmt_nodes()
+                    if isinstance(n.stmt, A.If))
+        assert len(head.succs) == 2
+
+    def test_if_without_else_falls_through(self):
+        cfg = CFG.build(body_of(
+            "program p\nc = 1\nif (c > 0) then\na = 1\nendif\nd = 3\nend\n"
+        ))
+        head = next(n for n in cfg.stmt_nodes() if isinstance(n.stmt, A.If))
+        assert len(head.succs) == 2  # then-branch and skip edge
+
+    def test_loop_back_edge(self):
+        cfg = CFG.build(body_of(
+            "program p\ndo i = 1, 10\na = i\nenddo\nb = 1\nend\n"
+        ))
+        head = next(n for n in cfg.nodes if n.kind == "loop-head")
+        assign = next(n for n in cfg.stmt_nodes()
+                      if isinstance(n.stmt, A.Assign)
+                      and n.stmt.target.name == "a")
+        assert head.id in assign.succs  # back edge
+        assert len(head.succs) == 2     # body and exit
+
+    def test_return_reaches_exit(self):
+        cfg = CFG.build(body_of(
+            "program p\na = 1\nreturn\nb = 2\nend\n"
+        ))
+        ret = next(n for n in cfg.stmt_nodes() if isinstance(n.stmt, A.Return))
+        assert cfg.exit.id in ret.succs
+
+    def test_node_of_identity(self):
+        body = body_of("program p\na = 1\na = 2\nend\n")
+        cfg = CFG.build(body)
+        assert cfg.node_of(body[0]).stmt is body[0]
+        assert cfg.node_of(body[1]).stmt is body[1]
+
+
+class TestDataflowSolver:
+    def reaching_defs(self, src):
+        """Tiny reaching-definitions instance over scalar assigns."""
+        body = body_of(src)
+        cfg = CFG.build(body)
+        gen, kill = {}, {}
+        for n in cfg.stmt_nodes():
+            s = n.stmt
+            if isinstance(s, A.Assign) and isinstance(s.target, A.Var):
+                gen[n.id] = {(s.target.name, id(s))}
+
+        def kill_fn(node, inset):
+            s = node.stmt
+            if isinstance(s, A.Assign) and isinstance(s.target, A.Var):
+                return frozenset(
+                    f for f in inset if f[0] == s.target.name
+                )
+            return frozenset()
+
+        transfer = gen_kill_transfer(gen, kill_fn)
+        ins, outs = solve(cfg, transfer, "forward")
+        return body, cfg, ins, outs
+
+    def test_straightline_kill(self):
+        body, cfg, ins, outs = self.reaching_defs(
+            "program p\na = 1\na = 2\nb = a\nend\n"
+        )
+        at_b = ins[cfg.node_of(body[2]).id]
+        a_defs = {f for f in at_b if f[0] == "a"}
+        assert a_defs == {("a", id(body[1]))}
+
+    def test_branch_union(self):
+        body, cfg, ins, outs = self.reaching_defs(
+            "program p\nc = 1\nif (c > 0) then\na = 1\nelse\na = 2\nendif\n"
+            "b = a\nend\n"
+        )
+        at_b = ins[cfg.node_of(body[2]).id]
+        a_defs = {f for f in at_b if f[0] == "a"}
+        assert len(a_defs) == 2
+
+    def test_loop_defs_reach_own_body(self):
+        body, cfg, ins, outs = self.reaching_defs(
+            "program p\na = 1\ndo i = 1, 3\nb = a\na = 2\nenddo\nend\n"
+        )
+        loop = body[1]
+        use = loop.body[0]
+        at_use = ins[cfg.node_of(use).id]
+        a_defs = {f for f in at_use if f[0] == "a"}
+        assert len(a_defs) == 2  # initial def and loop-carried redef
+
+    def test_backward_liveness(self):
+        body = body_of("program p\na = 1\nb = a\nc = b\nend\n")
+        cfg = CFG.build(body)
+        # live variables: gen = vars read, kill = var written
+        gen = {}
+        for n in cfg.stmt_nodes():
+            s = n.stmt
+            if isinstance(s, A.Assign):
+                gen[n.id] = {
+                    v.name for v in A.walk_exprs(s.expr)
+                    if isinstance(v, A.Var)
+                }
+
+        def kill_fn(node, inset):
+            s = node.stmt
+            if isinstance(s, A.Assign) and isinstance(s.target, A.Var):
+                return frozenset(x for x in inset if x == s.target.name)
+            return frozenset()
+
+        transfer = gen_kill_transfer(gen, kill_fn)
+        ins, outs = solve(cfg, transfer, "backward")
+        # before `b = a`, `a` is live; before `a = 1` it is not (the
+        # assignment kills it)
+        assert "a" in ins[cfg.node_of(body[1]).id]
+        assert "a" not in ins[cfg.node_of(body[0]).id]
+
+    def test_boundary_seed(self):
+        body = body_of("program p\nb = a\nend\n")
+        cfg = CFG.build(body)
+        transfer = gen_kill_transfer({}, {})
+        ins, outs = solve(
+            cfg, transfer, "forward", boundary=frozenset({"seed"})
+        )
+        assert "seed" in ins[cfg.node_of(body[0]).id]

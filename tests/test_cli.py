@@ -1,0 +1,115 @@
+"""Tests for the fdc command-line driver."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+FIG1 = """
+program p1
+real x(100)
+distribute x(block)
+do i = 1, 95
+  x(i) = f(x(i + 5))
+enddo
+call f1(x)
+end
+
+subroutine f1(x)
+real x(100)
+do i = 1, 95
+  x(i) = f(x(i + 5))
+enddo
+end
+"""
+
+
+@pytest.fixture
+def src_file(tmp_path):
+    p = tmp_path / "fig1.fd"
+    p.write_text(FIG1)
+    return str(p)
+
+
+class TestCompileOnly:
+    def test_prints_node_program(self, src_file, capsys):
+        assert main([src_file]) == 0
+        out = capsys.readouterr().out
+        assert "my$p = myproc()" in out
+        assert "send x(" in out
+
+    def test_report(self, src_file, capsys):
+        assert main([src_file, "--report", "--no-text"]) == 0
+        out = capsys.readouterr().out
+        assert "! dist p1.x: (block)" in out
+        assert "! comm" in out
+
+    def test_mode_rtr(self, src_file, capsys):
+        assert main([src_file, "--mode", "rtr"]) == 0
+        out = capsys.readouterr().out
+        assert "owner(x(" in out
+
+    def test_nprocs(self, src_file, capsys):
+        assert main([src_file, "--nprocs", "8", "--report",
+                     "--no-text"]) == 0
+        assert "nprocs=8" in capsys.readouterr().out
+
+    def test_missing_file(self, capsys):
+        assert main(["/nonexistent/path.fd"]) == 2
+
+    def test_compile_error_reported(self, tmp_path, capsys):
+        p = tmp_path / "bad.fd"
+        p.write_text("program p\ncall missing(x)\nend\n")
+        assert main([str(p)]) == 1
+        assert "compilation failed" in capsys.readouterr().err
+
+
+class TestRun:
+    def test_run_and_verify(self, src_file, capsys):
+        assert main([src_file, "--run", "--verify", "--no-text"]) == 0
+        out = capsys.readouterr().out
+        assert "! verify x: OK" in out
+        assert "msgs=6" in out
+
+    def test_gather_prints_array(self, src_file, capsys):
+        assert main([src_file, "--run", "--gather", "x",
+                     "--no-text"]) == 0
+        assert "x = [" in capsys.readouterr().out
+
+    def test_gather_unknown_array(self, src_file, capsys):
+        assert main([src_file, "--run", "--gather", "zz",
+                     "--no-text"]) == 2
+
+    def test_cost_models(self, src_file, capsys):
+        for cost in ("ipsc860", "fast", "free"):
+            assert main([src_file, "--run", "--cost", cost,
+                         "--no-text"]) == 0
+
+
+class TestSequential:
+    def test_sequential_summary(self, src_file, capsys):
+        assert main([src_file, "--sequential"]) == 0
+        out = capsys.readouterr().out
+        assert "x: shape=(100,)" in out
+
+
+class TestLocalize:
+    def test_localized_view(self, src_file, capsys):
+        assert main([src_file, "--localize", "f1", "--no-text"]) == 0
+        out = capsys.readouterr().out
+        assert "real x(30)" in out  # 25-block + 5 overlap (Figure 2)
+
+    def test_unknown_procedure(self, src_file):
+        assert main([src_file, "--localize", "nope", "--no-text"]) == 2
+
+
+class TestExplain:
+    def test_explain_narrative(self):
+        from repro.apps import FIG4
+        from repro.core import Options, compile_program
+
+        text = compile_program(FIG4, Options(nprocs=4)).explain()
+        assert "data partitioning:" in text
+        assert "f1 -> f1, f1$1" in text
+        assert "shift(5)" in text
+        assert "overlap regions:" in text

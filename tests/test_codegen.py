@@ -1,0 +1,319 @@
+"""Unit tests for SPMD code generation building blocks: bound
+arithmetic, guards, communication statement construction, run-time
+resolution rewriting, and body rewriting."""
+
+import pytest
+
+from repro.analysis.rsd import RSD, Range, SymDim, rsd
+from repro.core.codegen import (
+    RewritePlan,
+    TagAllocator,
+    block_lb,
+    block_ub,
+    build_bcast,
+    build_shift,
+    guard_expr,
+    owner_rank_expr,
+    reduce_block_bounds,
+    reduce_cyclic_bounds,
+    rewrite_body,
+    rtr_rewrite_assign,
+    section_subs,
+    uses_myproc,
+)
+from repro.core.communication import CommAction
+from repro.core.model import Constraint, PendingComm
+from repro.dist.distribution import DimDistribution
+from repro.lang import ast as A
+from repro.lang.printer import expr_str
+
+
+def block_dim(n=100, P=4, lo=1):
+    return DimDistribution.make("block", lo, n, P)
+
+
+def cyclic_dim(n=100, P=4, lo=1):
+    return DimDistribution.make("cyclic", lo, n, P)
+
+
+def eval_with(e, myp, env=None):
+    """Evaluate a generated expression for a concrete my$p."""
+    from repro.analysis.symbolics import eval_int
+    from repro.runtime.intrinsics import PURE_INTRINSICS
+
+    def ev(x):
+        if isinstance(x, A.Num):
+            return x.value
+        if isinstance(x, A.Var):
+            if x.name == "my$p":
+                return myp
+            return (env or {})[x.name]
+        if isinstance(x, A.BinOp):
+            a, b = ev(x.left), ev(x.right)
+            if x.op == "+":
+                return a + b
+            if x.op == "-":
+                return a - b
+            if x.op == "*":
+                return a * b
+            if x.op == "==":
+                return a == b
+            if x.op == "/":
+                return a // b
+            raise KeyError(x.op)
+        if isinstance(x, A.CallExpr):
+            return PURE_INTRINSICS[x.name](*[ev(a) for a in x.args])
+        raise TypeError(x)
+
+    return ev(e)
+
+
+class TestBoundExpressions:
+    def test_block_lb_ub_per_proc(self):
+        dim = block_dim()
+        for p in range(4):
+            assert eval_with(block_lb(dim), p) == 1 + p * 25
+            assert eval_with(block_ub(dim), p) == min((p + 1) * 25, 100)
+
+    def test_block_ub_clamps_to_dim(self):
+        dim = block_dim(n=90, P=4)  # blocks of 23
+        assert eval_with(block_ub(dim), 3) == 90
+
+    def test_owner_rank_block(self):
+        dim = block_dim()
+        e = owner_rank_expr(dim, A.Num(26))
+        assert eval_with(e, 0) == 1
+
+    def test_owner_rank_cyclic(self):
+        dim = cyclic_dim()
+        e = owner_rank_expr(dim, A.Var("k"))
+        assert eval_with(e, 0, {"k": 6}) == 1
+        assert eval_with(e, 0, {"k": 5}) == 0
+
+
+class TestLoopReduction:
+    def loop(self, lo=1, hi=95):
+        return A.Do("i", A.Num(lo), A.Num(hi), A.ONE, [])
+
+    def test_fig2_bounds(self):
+        c = Constraint(block_dim(), A.Var("i"), "i", 0)
+        lo, hi, step = reduce_block_bounds(self.loop(), c)
+        # do i = 1+my$p*25, min(95, ...)
+        for p, (el, eh) in enumerate([(1, 25), (26, 50), (51, 75),
+                                      (76, 95)]):
+            assert eval_with(lo, p) == el
+            assert eval_with(hi, p) == eh
+        assert step == A.ONE
+
+    def test_offset_shifts_bounds(self):
+        # statement writes x(i+10): proc owns [lb, ub] so i in [lb-10..]
+        c = Constraint(block_dim(), A.BinOp("+", A.Var("i"), A.Num(10)),
+                       "i", 10)
+        lo, hi, _ = reduce_block_bounds(self.loop(1, 90), c)
+        assert eval_with(lo, 1) == 16   # 26 - 10
+        assert eval_with(hi, 1) == 40   # 50 - 10
+
+    def test_cyclic_start_and_stride(self):
+        c = Constraint(cyclic_dim(), A.Var("i"), "i", 0)
+        lo, hi, step = reduce_cyclic_bounds(self.loop(1, 100), c)
+        assert expr_str(step) == "4"
+        for p in range(4):
+            start = eval_with(lo, p)
+            assert (start - 1) % 4 == p
+            assert 1 <= start <= 4
+
+    def test_cyclic_symbolic_lower_bound(self):
+        """dgefa's j loop: do j = k+1, n partitioned cyclically."""
+        loop = A.Do("j", A.BinOp("+", A.Var("k"), A.Num(1)), A.Var("n"),
+                    A.ONE, [])
+        c = Constraint(cyclic_dim(16, 4), A.Var("j"), "j", 0)
+        lo, hi, step = reduce_cyclic_bounds(loop, c)
+        for p in range(4):
+            for k in (1, 5, 10):
+                start = eval_with(lo, p, {"k": k, "n": 16})
+                assert start >= k + 1
+                assert (start - 1) % 4 == p
+
+
+class TestGuards:
+    def test_guard_block(self):
+        c = Constraint(block_dim(), A.Var("k"), "k", 0)
+        g = guard_expr(c)
+        assert eval_with(g, 1, {"k": 30}) is True
+        assert eval_with(g, 0, {"k": 30}) is False
+
+    def test_guard_cyclic(self):
+        c = Constraint(cyclic_dim(), A.Var("k"), "k", 0)
+        g = guard_expr(c)
+        assert eval_with(g, 1, {"k": 6}) is True
+        assert eval_with(g, 2, {"k": 6}) is False
+
+
+class TestCommConstruction:
+    def action(self, kind, dim, section, delta=0, at=None):
+        p = PendingComm("x", kind, 0, dim, section, delta=delta, at=at)
+        return CommAction(p, anchor=None, level=0)
+
+    def test_shift_positive_block(self):
+        act = self.action("shift", block_dim(), rsd((6, 100)), delta=5)
+        stmts = build_shift(act, TagAllocator())
+        assert len(stmts) == 2
+        send_if, recv_if = stmts
+        assert isinstance(send_if, A.If) and isinstance(recv_if, A.If)
+        assert expr_str(send_if.cond) == "my$p > 0"
+        assert expr_str(recv_if.cond) == "my$p < 3"
+        send = send_if.then_body[0]
+        assert isinstance(send, A.Send)
+        assert expr_str(send.dest) == "my$p - 1"
+
+    def test_shift_negative_block(self):
+        act = self.action("shift", block_dim(), rsd((1, 95)), delta=-5)
+        stmts = build_shift(act, TagAllocator())
+        send_if, recv_if = stmts
+        assert expr_str(send_if.cond) == "my$p < 3"
+        send = send_if.then_body[0]
+        assert expr_str(send.dest) == "my$p + 1"
+
+    def test_shift_cyclic_strided(self):
+        act = self.action("shift", cyclic_dim(), rsd((2, 100)), delta=1)
+        stmts = build_shift(act, TagAllocator())
+        send, recv = stmts
+        assert isinstance(send, A.Send) and isinstance(recv, A.Recv)
+        sub = send.subs[0]
+        assert isinstance(sub, A.Triplet)
+        assert expr_str(sub.step) == "4"
+
+    def test_shift_cyclic_multiple_of_p_is_local(self):
+        act = self.action("shift", cyclic_dim(P=4), rsd((5, 100)), delta=4)
+        assert build_shift(act, TagAllocator()) == []
+
+    def test_bcast(self):
+        dim = cyclic_dim(16, 4)
+        sec = RSD((SymDim(A.BinOp("+", A.Var("k"), A.ONE), A.Var("n")),
+                   SymDim(A.Var("k"))))
+        act = self.action("bcast", dim, sec, at=A.Var("k"))
+        (b,) = build_bcast(act, TagAllocator())
+        assert isinstance(b, A.Bcast)
+        assert "mod" in expr_str(b.root)
+
+    def test_unique_tags(self):
+        tags = TagAllocator()
+        a1 = self.action("shift", block_dim(), rsd((6, 100)), delta=5)
+        a2 = self.action("shift", block_dim(), rsd((6, 100)), delta=5)
+        s1 = build_shift(a1, tags)
+        s2 = build_shift(a2, tags)
+        t1 = s1[0].then_body[0].tag
+        t2 = s2[0].then_body[0].tag
+        assert t1 != t2
+
+
+class TestSectionSubs:
+    def test_numeric_ranges(self):
+        subs = section_subs(rsd((26, 30), 7, (1, 99, 2)))
+        assert expr_str(subs[0]) == "26:30"
+        assert expr_str(subs[1]) == "7"
+        assert expr_str(subs[2]) == "1:99:2"
+
+    def test_symbolic_dims(self):
+        sec = RSD((SymDim(A.Var("k")),
+                   SymDim(A.Var("a"), A.Var("b"))))
+        subs = section_subs(sec)
+        assert expr_str(subs[0]) == "k"
+        assert expr_str(subs[1]) == "a:b"
+
+
+class TestRTRRewrite:
+    def make_assign(self):
+        prog = ("program p\nreal x(20), y(20)\n"
+                "x(3) = f(y(7))\nend\n")
+        return parse_body(prog)[0]
+
+    def test_distributed_lhs_and_rhs(self):
+        s = self.make_assign()
+        out = rtr_rewrite_assign(s, {"x", "y"}, TagAllocator())
+        # send-guard, then owner-guarded recv+assign
+        assert len(out) == 2
+        assert isinstance(out[0], A.If)
+        assert isinstance(out[1], A.If)
+        inner = out[1].then_body
+        assert isinstance(inner[-1], A.Assign)
+
+    def test_replicated_lhs_broadcasts(self):
+        prog = "program p\nreal y(20)\ns = y(7)\nend\n"
+        s = parse_body(prog)[0]
+        out = rtr_rewrite_assign(s, {"y"}, TagAllocator())
+        assert isinstance(out[0], A.Bcast)
+        assert isinstance(out[1], A.Assign)
+
+    def test_replicated_reads_untouched(self):
+        prog = "program p\nreal x(20), w(20)\nx(3) = w(2)\nend\n"
+        s = parse_body(prog)[0]
+        out = rtr_rewrite_assign(s, {"x"}, TagAllocator())
+        # no send for w (replicated); just the owner-guarded assign
+        assert len(out) == 1
+
+
+def parse_body(src):
+    from repro.lang import parse
+
+    return parse(src).main.body
+
+
+class TestRewriteBody:
+    def test_insert_before_and_after(self):
+        body = parse_body("program p\na = 1\nb = 2\nend\n")
+        plan = RewritePlan()
+        marker1 = A.Continue()
+        marker2 = A.Continue()
+        plan.insert_before[id(body[1])] = [marker1]
+        plan.insert_after[id(body[0])] = [marker2]
+        out = rewrite_body(body, plan)
+        assert out[1] is marker2
+        assert out[2] is marker1
+
+    def test_replace(self):
+        body = parse_body("program p\na = 1\nend\n")
+        plan = RewritePlan()
+        plan.replace[id(body[0])] = [A.Continue(), A.Continue()]
+        out = rewrite_body(body, plan)
+        assert len(out) == 2
+
+    def test_guard_wrapping(self):
+        body = parse_body("program p\nreal x(100)\nx(5) = 1\nend\n")
+        plan = RewritePlan()
+        c = Constraint(block_dim(), A.Num(5), None, 0)
+        plan.guard_stmt[id(body[0])] = c
+        out = rewrite_body(body, plan)
+        assert isinstance(out[0], A.If)
+        assert out[0].then_body[0] is body[0]
+
+    def test_directives_dropped(self):
+        body = parse_body(
+            "program p\nreal x(10)\ndistribute x(block)\nx(1) = 0\nend\n"
+        )
+        out = rewrite_body(body, RewritePlan())
+        assert all(not isinstance(s, A.Distribute) for s in out)
+
+    def test_nested_insertion(self):
+        body = parse_body(
+            "program p\ndo i = 1, 3\na = i\nenddo\nend\n"
+        )
+        inner = body[0].body[0]
+        plan = RewritePlan()
+        marker = A.Continue()
+        plan.insert_before[id(inner)] = [marker]
+        rewrite_body(body, plan)
+        assert body[0].body[0] is marker
+
+
+class TestUsesMyproc:
+    def test_detects_in_expressions(self):
+        body = parse_body("program p\nk = my$p + 1\nend\n")
+        assert uses_myproc(body)
+
+    def test_detects_in_comm(self):
+        body = [A.Send("x", [A.Num(1)], A.var("my$p"), 0)]
+        assert uses_myproc(body)
+
+    def test_negative(self):
+        assert not uses_myproc(parse_body("program p\na = 1\nend\n"))

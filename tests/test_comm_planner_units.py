@@ -1,0 +1,113 @@
+"""Unit tests for communication-planning building blocks: section
+expansion, classification, translation across call sites."""
+
+import pytest
+
+from repro.analysis.rsd import RSD, Range, SymDim
+from repro.callgraph.acg import ACG, LoopInfo
+from repro.core.communication import (
+    expand_section,
+    subs_to_section,
+    translate_section,
+)
+from repro.core.model import PendingComm
+from repro.lang import ast as A
+from repro.lang import parse
+
+
+def loop(var, lo, hi, depth=1):
+    lo_e = lo if isinstance(lo, A.Expr) else A.Num(lo)
+    hi_e = hi if isinstance(hi, A.Expr) else A.Num(hi)
+    return LoopInfo(var, lo_e, hi_e, A.ONE,
+                    A.Do(var, lo_e, hi_e, A.ONE, []), depth)
+
+
+class TestSubsToSection:
+    def test_constant_subscripts(self):
+        sec = subs_to_section((A.Num(5), A.Num(7)), [], {})
+        assert sec == RSD((Range(5, 5), Range(7, 7)))
+
+    def test_symbolic_subscripts(self):
+        sec = subs_to_section((A.Var("i"),), [loop("i", 1, 10)], {})
+        assert isinstance(sec.dims[0], SymDim)
+
+    def test_param_folding(self):
+        sec = subs_to_section((A.Var("n"),), [], {"n": 42})
+        assert sec == RSD((Range(42, 42),))
+
+
+class TestExpandSection:
+    def test_expands_deep_loop_dims(self):
+        i = loop("i", 1, 100)
+        sec = RSD((Range(26, 30), SymDim(A.Var("i"))))
+        out = expand_section(sec, [i], 0, {})
+        assert out == RSD((Range(26, 30), Range(1, 100)))
+
+    def test_keeps_shallow_loop_dims(self):
+        i = loop("i", 1, 100)
+        sec = RSD((SymDim(A.Var("i")),))
+        out = expand_section(sec, [i], 1, {})  # level 1: i is fixed
+        assert isinstance(out.dims[0], SymDim)
+
+    def test_offset_expansion(self):
+        i = loop("i", 1, 95)
+        sec = RSD((SymDim(A.BinOp("+", A.Var("i"), A.Num(5))),))
+        out = expand_section(sec, [i], 0, {})
+        assert out == RSD((Range(6, 100),))
+
+    def test_symbolic_bounds_stay_symbolic(self):
+        k = loop("k", A.BinOp("+", A.Var("m"), A.Num(1)), A.Var("n"))
+        sec = RSD((SymDim(A.Var("k")),))
+        out = expand_section(sec, [k], 0, {})
+        d = out.dims[0]
+        assert isinstance(d, SymDim) and d.hi is not None
+
+    def test_non_loop_dims_untouched(self):
+        i = loop("i", 1, 10)
+        sec = RSD((SymDim(A.Var("q")), Range(1, 3)))
+        out = expand_section(sec, [i], 0, {})
+        assert out == sec
+
+
+class TestTranslateSection:
+    def test_formal_to_actual_rename(self):
+        sec = RSD((SymDim(A.Var("k")),))
+        out = translate_section(sec, {"k": A.Var("m")}, {})
+        assert out == RSD((SymDim(A.Var("m")),))
+
+    def test_formal_to_constant_folds(self):
+        sec = RSD((SymDim(A.Var("k")),))
+        out = translate_section(sec, {"k": A.Num(7)}, {})
+        assert out == RSD((Range(7, 7),))
+
+    def test_symbolic_range_translation(self):
+        sec = RSD((SymDim(A.BinOp("+", A.Var("k"), A.Num(1)), A.Var("n")),))
+        out = translate_section(sec, {"k": A.Num(3), "n": A.Num(10)}, {})
+        assert out == RSD((Range(4, 10),))
+
+    def test_numeric_dims_pass_through(self):
+        sec = RSD((Range(1, 5),))
+        assert translate_section(sec, {"x": A.Num(9)}, {}) == sec
+
+    def test_env_constants_fold(self):
+        sec = RSD((SymDim(A.Var("k"), A.Var("n")),))
+        out = translate_section(sec, {"k": A.Var("k")}, {"n": 20, "k": 2})
+        assert out == RSD((Range(2, 20),))
+
+
+class TestPendingCommDescribe:
+    def test_shift_describe(self):
+        from repro.dist.distribution import DimDistribution
+
+        dim = DimDistribution.make("block", 1, 100, 4)
+        p = PendingComm("x", "shift", 0, dim, RSD((Range(6, 30),)),
+                        delta=5, origin="t")
+        assert "shift(5)" in p.describe()
+
+    def test_bcast_describe(self):
+        from repro.dist.distribution import DimDistribution
+
+        dim = DimDistribution.make("cyclic", 1, 16, 4)
+        p = PendingComm("a", "bcast", 1, dim, RSD((Range(1, 16),)),
+                        at=A.Var("k"), origin="t")
+        assert "bcast@k" in p.describe()

@@ -1,0 +1,188 @@
+"""Tests for COMMON blocks: global arrays shared by name across program
+units ("global variables are simply copied" in the paper's Translate,
+§5.2; overlaps for COMMON arrays, §5.6)."""
+
+import numpy as np
+import pytest
+
+from repro.core import DynOpt, Mode, Options, compile_program
+from repro.interp import run_sequential
+from repro.lang import ast as A
+from repro.lang import parse
+from repro.machine import FREE
+
+COMMON_PIPELINE = """
+program p
+real x(100)
+common /data/ x
+distribute x(block)
+call init
+call smooth
+end
+
+subroutine init
+real x(100)
+common /data/ x
+do i = 1, 100
+  x(i) = i * 1.0
+enddo
+end
+
+subroutine smooth
+real x(100)
+common /data/ x
+do i = 1, 95
+  x(i) = f(x(i + 5))
+enddo
+end
+"""
+
+
+def check(src, arr="x", P=4, mode=Mode.INTER, dynopt=DynOpt.KILLS):
+    seq = run_sequential(parse(src))
+    cp = compile_program(src, Options(nprocs=P, mode=mode, dynopt=dynopt))
+    res = cp.run(cost=FREE)
+    assert np.allclose(res.gathered(arr), seq.arrays[arr].data)
+    return cp, res
+
+
+class TestParsing:
+    def test_common_recorded(self):
+        prog = parse(COMMON_PIPELINE)
+        assert prog.main.commons == ["x"]
+        assert prog.unit("smooth").commons == ["x"]
+
+    def test_common_decls_merged(self):
+        decls = parse(COMMON_PIPELINE).common_decls()
+        assert list(decls) == ["x"]
+        assert decls["x"].rank == 1
+
+    def test_shape_mismatch_rejected(self):
+        src = (
+            "program p\nreal x(10)\ncommon /c/ x\nx(1) = 0\nend\n"
+            "subroutine f\nreal x(20)\ncommon /c/ x\nx(1) = 0\nend\n"
+        )
+        with pytest.raises(ValueError, match="different shapes"):
+            parse(src).common_decls()
+
+    def test_blockless_common(self):
+        src = "program p\nreal x(10)\ncommon x\nx(1) = 0\nend\n"
+        assert parse(src).main.commons == ["x"]
+
+
+class TestSequentialSemantics:
+    def test_shared_storage(self):
+        src = (
+            "program p\nreal x(10)\ncommon /c/ x\ncall fill\ns = x(3)\nend\n"
+            "subroutine fill\nreal x(10)\ncommon /c/ x\n"
+            "do i = 1, 10\nx(i) = i * 2.0\nenddo\nend\n"
+        )
+        fr = run_sequential(parse(src))
+        assert fr.scalars["s"] == 6.0
+
+    def test_visible_across_sibling_calls(self):
+        src = (
+            "program p\nreal x(4)\ncommon /c/ x\ncall a1\ncall a2\n"
+            "s = x(1)\nend\n"
+            "subroutine a1\nreal x(4)\ncommon /c/ x\nx(1) = 5.0\nend\n"
+            "subroutine a2\nreal x(4)\ncommon /c/ x\nx(1) = x(1) + 1\nend\n"
+        )
+        fr = run_sequential(parse(src))
+        assert fr.scalars["s"] == 6.0
+
+
+class TestCompiledCommon:
+    @pytest.mark.parametrize("mode", [Mode.INTER, Mode.INTRA, Mode.RTR])
+    def test_all_modes_correct(self, mode):
+        check(COMMON_PIPELINE, mode=mode)
+
+    def test_comm_hoisted_to_main(self):
+        cp, res = check(COMMON_PIPELINE)
+        smooth = cp.program.unit("smooth")
+        assert not any(
+            isinstance(s, (A.Send, A.Recv)) for s in A.walk_stmts(smooth.body)
+        )
+        assert res.stats.messages == 3  # one vectorized strip per pair
+
+    def test_comm_placed_after_producing_call(self):
+        """init writes the global: the exchange must follow it."""
+        cp, _ = check(COMMON_PIPELINE)
+        names = []
+        for s in cp.program.main.body:
+            if isinstance(s, A.Call):
+                names.append(s.name)
+            elif isinstance(s, A.If) and any(
+                isinstance(x, (A.Send, A.Recv)) for x in s.then_body
+            ):
+                names.append("comm")
+        assert names == ["init", "comm", "comm", "smooth"]
+
+    def test_partitioned_loops_in_callees(self):
+        cp, _ = check(COMMON_PIPELINE)
+        from repro.lang.printer import expr_str
+
+        for unit in ("init", "smooth"):
+            loop = [s for s in cp.program.unit(unit).body
+                    if isinstance(s, A.Do)][0]
+            assert "my$p" in expr_str(loop.lo)
+
+    def test_reaching_through_commons(self):
+        from repro.callgraph.acg import ACG
+        from repro.core.reaching import compute_reaching
+        from repro.dist import Distribution
+
+        result = compute_reaching(ACG(parse(COMMON_PIPELINE)),
+                                  Options(nprocs=4))
+        smooth = result.per_proc["smooth"]
+        dists = {d for d in smooth.reaching_dists("x")
+                 if isinstance(d, Distribution)}
+        assert {str(d) for d in dists} == {"(block)"}
+
+    def test_cloning_on_common_decomposition(self):
+        """Two global arrays with different layouts used through one
+        worker procedure force cloning on the COMMON decomposition."""
+        src = (
+            "program p\nreal u(40), v(40)\ncommon /c/ u, v\n"
+            "distribute u(block)\ndistribute v(cyclic)\n"
+            "call wu\ncall wv\nend\n"
+            "subroutine wu\nreal u(40)\ncommon /c/ u\n"
+            "do i = 1, 40\nu(i) = i * 1.0\nenddo\nend\n"
+            "subroutine wv\nreal v(40)\ncommon /c/ v\n"
+            "do i = 1, 40\nv(i) = i * 2.0\nenddo\nend\n"
+        )
+        cp, _ = check(src, arr="u")
+        _cp, res = check(src, arr="v")
+        assert res.stats.messages == 0
+
+
+class TestDynamicCommon:
+    def test_redistribute_global_in_callee(self):
+        src = (
+            "program p\nreal x(32)\ncommon /c/ x\ndistribute x(block)\n"
+            "call fill\ncall cycwork\ncall blkread\nend\n"
+            "subroutine fill\nreal x(32)\ncommon /c/ x\n"
+            "do i = 1, 32\nx(i) = i * 1.0\nenddo\nend\n"
+            "subroutine cycwork\nreal x(32)\ncommon /c/ x\n"
+            "distribute x(cyclic)\n"
+            "do i = 1, 32\nx(i) = x(i) + 0.5\nenddo\nend\n"
+            "subroutine blkread\nreal x(32)\ncommon /c/ x\n"
+            "do i = 1, 32\nx(i) = x(i) * 2.0\nenddo\nend\n"
+        )
+        cp, res = check(src)
+        assert res.stats.remaps >= 1  # block->cyclic (+ restore)
+        main = cp.program.main
+        assert any(isinstance(s, (A.Remap, A.MarkDist))
+                   for s in A.walk_stmts(main.body))
+
+    def test_mixed_common_and_argument(self):
+        """A global and an argument array interact in one callee."""
+        src = (
+            "program p\nreal g(48), y(48)\ncommon /c/ g\n"
+            "align y(i) with g(i)\ndistribute g(block)\n"
+            "do i = 1, 48\ng(i) = i * 1.0\nenddo\n"
+            "call mix(y)\nend\n"
+            "subroutine mix(y)\nreal g(48), y(48)\ncommon /c/ g\n"
+            "do i = 1, 47\ny(i) = g(i + 1)\nenddo\nend\n"
+        )
+        cp, res = check(src, arr="y")
+        assert res.stats.messages == 3

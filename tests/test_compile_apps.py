@@ -1,0 +1,274 @@
+"""End-to-end tests for the stencil and ADI applications plus
+miscellaneous whole-program compilation behaviours."""
+
+import numpy as np
+import pytest
+
+from repro.apps import adi_source, stencil1d_source, stencil2d_source
+from repro.core import DynOpt, Mode, Options, compile_program
+from repro.interp import run_sequential
+from repro.lang import ast as A
+from repro.lang import parse
+from repro.machine import FREE, IPSC860
+
+
+def check(src, arr, P=4, mode=Mode.INTER, dynopt=DynOpt.KILLS, cost=FREE):
+    seq = run_sequential(parse(src)).arrays[arr].data
+    cp = compile_program(src, Options(nprocs=P, mode=mode, dynopt=dynopt))
+    res = cp.run(cost=cost)
+    assert np.allclose(res.gathered(arr), seq)
+    return cp, res
+
+
+class TestStencil1D:
+    def test_correct(self):
+        check(stencil1d_source(64, 4), "x")
+
+    def test_messages_per_step(self):
+        _cp, res = check(stencil1d_source(64, 4), "x")
+        # per step: left shift + right shift, one message per neighbour
+        # pair each = 6 messages per step
+        assert res.stats.messages == 4 * 6
+
+    def test_comm_in_caller_not_callee(self):
+        cp, _ = check(stencil1d_source(64, 4), "x")
+        smooth = cp.program.unit("smooth")
+        assert not any(
+            isinstance(s, (A.Send, A.Recv)) for s in A.walk_stmts(smooth.body)
+        )
+        main = cp.program.main
+        assert any(
+            isinstance(s, (A.Send, A.Recv)) for s in A.walk_stmts(main.body)
+        )
+
+    def test_comm_inside_time_loop(self):
+        """The t loop carries a true dependence (x rewritten each step):
+        shifts cannot hoist above it."""
+        cp, _ = check(stencil1d_source(64, 4), "x")
+        t_loop = [s for s in cp.program.main.body if isinstance(s, A.Do)][0]
+        sends = [
+            s for s in A.walk_stmts(t_loop.body)
+            if isinstance(s, (A.Send, A.Recv))
+        ]
+        assert sends, "shift communication must stay inside the time loop"
+
+    @pytest.mark.parametrize("P", [2, 4, 8])
+    def test_proc_scaling(self, P):
+        check(stencil1d_source(64, 2), "x", P=P)
+
+
+class TestStencil2D:
+    def test_correct(self):
+        check(stencil2d_source(24, 2), "a")
+
+    def test_row_messages_vectorized(self):
+        _cp, res = check(stencil2d_source(24, 2), "a")
+        # north + south ghost rows per step: 2 patterns x 3 pairs x 2 steps
+        assert res.stats.messages == 2 * 3 * 2
+        # each message carries a whole boundary row strip (22 columns)
+        assert res.stats.bytes == 12 * 22 * 8
+
+    def test_intra_no_better_than_inter(self):
+        """Here all loops live inside the sweep procedures, so immediate
+        instantiation happens to coincide with the delayed placement;
+        INTRA can never beat INTER."""
+        _cp, inter = check(stencil2d_source(24, 2), "a")
+        _cp2, intra = check(stencil2d_source(24, 2), "a", mode=Mode.INTRA)
+        assert intra.stats.messages >= inter.stats.messages
+
+
+class TestADI:
+    def test_correct_all_levels(self):
+        for dyn in (DynOpt.NONE, DynOpt.LIVE, DynOpt.HOIST, DynOpt.KILLS):
+            check(adi_source(16, 2), "a", dynopt=dyn)
+
+    def test_two_transposes_per_step(self):
+        _cp, res = check(adi_source(16, 3), "a", dynopt=DynOpt.KILLS)
+        # one row->col and one col->row remap per step; the first
+        # row-distribution request matches the initial layout (no-op)
+        assert res.stats.remaps == 2 * 3 - 1
+
+    def test_remap_moves_data(self):
+        _cp, res = check(adi_source(16, 2), "a")
+        n = 16
+        # each executed transpose moves (P-1)/P of the matrix
+        per_remap = n * n * 8 * 3 // 4
+        assert res.stats.remap_bytes == res.stats.remaps * per_remap
+
+    def test_sweeps_partitioned(self):
+        cp, _ = check(adi_source(16, 2), "a")
+        for unit in ("rowsweep", "colsweep"):
+            proc = cp.program.unit(unit)
+            outer = [s for s in proc.body if isinstance(s, A.Do)][0]
+            from repro.lang.printer import expr_str
+
+            assert "my$p" in expr_str(outer.lo)
+
+    def test_unoptimized_remaps_more(self):
+        _a, none = check(adi_source(16, 3), "a", dynopt=DynOpt.NONE)
+        _b, opt = check(adi_source(16, 3), "a", dynopt=DynOpt.KILLS)
+        assert none.stats.remaps > opt.stats.remaps
+
+
+class TestWholeProgramBehaviours:
+    def test_single_processor_degenerates(self):
+        src = stencil1d_source(32, 2)
+        cp, res = check(src, "x", P=1)
+        assert res.stats.messages == 0
+
+    def test_replicated_array_untouched(self):
+        src = (
+            "program p\nreal x(32), w(8)\ndistribute x(block)\n"
+            "do i = 1, 8\nw(i) = i * 2.0\nenddo\n"
+            "do i = 1, 32\nx(i) = x(i) + w(1)\nenddo\nend\n"
+        )
+        cp, res = check(src, "x")
+        assert res.stats.messages == 0  # w replicated, x access local
+
+    def test_scalar_reduction_statement_is_replicated(self):
+        src = (
+            "program p\nreal x(16)\ns = 0\n"
+            "do i = 1, 16\nx(i) = i * 1.0\nenddo\n"
+            "do i = 1, 16\ns = s + x(i)\nenddo\nend\n"
+        )
+        # x never distributed: everything replicated, zero messages
+        cp = compile_program(src, Options(nprocs=4))
+        res = cp.run(cost=FREE)
+        assert all(fr.scalars["s"] == sum(range(1, 17))
+                   for fr in res.frames)
+
+    def test_cyclic_shift_strided_messages(self):
+        src = (
+            "program p\nreal x(32)\ndistribute x(cyclic)\n"
+            "do i = 1, 31\nx(i) = f(x(i + 1))\nenddo\nend\n"
+        )
+        cp, res = check(src, "x")
+        # cyclic shift: every processor exchanges its strided set once
+        assert res.stats.messages == 4
+        assert res.stats.bytes == 32 * 8
+
+    def test_block_cyclic_falls_back_gracefully(self):
+        src = (
+            "program p\nreal x(32)\ndistribute x(block_cyclic(4))\n"
+            "do i = 1, 31\nx(i) = f(x(i + 1))\nenddo\nend\n"
+        )
+        cp, res = check(src, "x")
+        assert res.stats.messages > 0  # run-time resolution still correct
+
+    def test_backward_shift_no_dep(self):
+        """A negative shift into a different array has no true
+        dependence: one vectorized message per neighbour pair, flowing
+        the other way."""
+        src = (
+            "program p\nreal x(64), y(64)\nalign y(i) with x(i)\n"
+            "distribute x(block)\ncall g1(x, y)\nend\n"
+            "subroutine g1(x, y)\nreal x(64), y(64)\n"
+            "do i = 9, 64\ny(i) = f(x(i - 8))\nenddo\nend\n"
+        )
+        cp, res = check(src, "y")
+        assert res.stats.messages == 3  # one per neighbour pair
+        assert not cp.report.rtr_fallbacks
+
+    def test_backward_shift_with_carried_dep_pipelines(self):
+        """x(i) = f(x(i-8)) carries a true dependence (distance 8): the
+        vectorized prefetch would be illegal; the compiler pipelines at
+        block granularity — one boundary message per neighbour pair,
+        executed as a wavefront."""
+        src = (
+            "program p\nreal x(64)\ndistribute x(block)\n"
+            "call g1(x)\nend\n"
+            "subroutine g1(x)\nreal x(64)\n"
+            "do i = 9, 64\nx(i) = f(x(i - 8))\nenddo\nend\n"
+        )
+        cp, res = check(src, "x")
+        assert res.stats.messages == 3
+        assert not cp.report.rtr_fallbacks
+        assert any("pipeline" in line
+                   for line in cp.report.comm_placements)
+
+    def test_carried_dependence_direct_in_main(self):
+        """x(i) = f(x(i-1)) directly in the main program: pipelined at
+        block granularity, still correct."""
+        src = (
+            "program p\nreal x(16)\ndistribute x(block)\n"
+            "do i = 2, 16\nx(i) = f(x(i - 1))\nenddo\nend\n"
+        )
+        cp, res = check(src, "x")
+        assert res.stats.messages == 3  # wavefront boundary messages
+
+    def test_report_distributions(self):
+        cp, _ = check(stencil2d_source(24, 2), "a")
+        assert cp.report.distributions["sweep"]["a"] == "(block, :)"
+        assert cp.report.distributions["sweep"]["b"] == "(block, :)"
+
+
+class TestWave:
+    def test_correct(self):
+        from repro.apps import wave_source
+
+        check(wave_source(64, 4), "u")
+
+    def test_two_exchanges_per_step(self):
+        from repro.apps import wave_source
+
+        _cp, res = check(wave_source(64, 4), "u")
+        # left + right strips, one message per neighbour pair per step
+        assert res.stats.messages == 4 * 2 * 3
+
+    @pytest.mark.parametrize("P", [2, 3, 4])
+    def test_proc_counts(self, P):
+        from repro.apps import wave_source
+
+        check(wave_source(48, 3), "u", P=P)
+
+
+class TestConjugateGradient:
+    """CG on a 1-D Laplacian: shifts + reductions + scalar control."""
+
+    def test_correct_solution_vector(self):
+        from repro.apps import cg_source
+
+        check(cg_source(64, 8), "x")
+
+    def test_residual_replicated_consistently(self):
+        from repro.apps import cg_source
+
+        src = cg_source(48, 6)
+        seq = run_sequential(parse(src))
+        cp = compile_program(src, Options(nprocs=4, mode=Mode.INTER))
+        res = cp.run(cost=FREE)
+        vals = [fr.scalars["resid"] for fr in res.frames]
+        assert len(set(vals)) == 1  # bitwise identical on every node
+        assert vals[0] == pytest.approx(seq.scalars["resid"])
+
+    def test_no_rtr_fallbacks(self):
+        from repro.apps import cg_source
+
+        cp, _ = check(cg_source(64, 4), "x")
+        assert not cp.report.rtr_fallbacks
+
+    def test_reductions_counted(self):
+        from repro.apps import cg_source
+
+        _cp, res = check(cg_source(64, 4), "x")
+        # rsold once + (pap + rsnew) per iteration, plus the boundary
+        # element broadcasts of the matvec
+        assert res.stats.collectives >= 1 + 2 * 4
+
+    @pytest.mark.parametrize("P", [2, 3, 4])
+    def test_proc_counts(self, P):
+        from repro.apps import cg_source
+
+        check(cg_source(48, 4), "x", P=P)
+
+    def test_convergence_progresses(self):
+        """More iterations -> smaller residual (the solver solves)."""
+        from repro.apps import cg_source
+
+        resids = []
+        for iters in (2, 8, 20):
+            src = cg_source(32, iters, eps=0.5)
+            cp = compile_program(src, Options(nprocs=4, mode=Mode.INTER))
+            res = cp.run(cost=FREE)
+            resids.append(res.frames[0].scalars["resid"])
+        assert resids[0] > resids[1] > resids[2]

@@ -1,0 +1,283 @@
+"""End-to-end tests for the §9 dgefa case study."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    dgefa_reference_lu,
+    dgefa_source,
+    handcoded_dgefa_spmd,
+    make_dgefa_init,
+)
+from repro.core import Mode, Options, compile_program
+from repro.interp import default_init
+from repro.lang import ast as A
+from repro.machine import FREE, IPSC860, Machine
+
+
+def reference(n):
+    init = make_dgefa_init(n)
+    a = np.empty((n, n))
+    for i in range(n):
+        for j in range(n):
+            a[i, j] = init("a", (i + 1, j + 1))
+    return init, dgefa_reference_lu(a)
+
+
+def compile_and_run(n, P, mode, cost=FREE):
+    init, ref = reference(n)
+    cp = compile_program(dgefa_source(n), Options(nprocs=P, mode=mode))
+    res = cp.run(cost=cost, init_fn=init)
+    assert np.allclose(res.gathered("a"), ref), f"{mode} wrong LU"
+    return cp, res
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("mode", [Mode.INTER, Mode.INTRA, Mode.RTR])
+    def test_lu_matches_reference(self, mode):
+        compile_and_run(12, 4, mode)
+
+    @pytest.mark.parametrize("P", [1, 2, 3, 4])
+    def test_processor_counts(self, P):
+        compile_and_run(12, P, Mode.INTER)
+
+    @pytest.mark.parametrize("n", [8, 16, 24])
+    def test_sizes(self, n):
+        compile_and_run(n, 4, Mode.INTER)
+
+
+class TestCompiledShape:
+    """The generated dgefa must be the textbook parallel LU."""
+
+    @pytest.fixture(scope="class")
+    def compiled(self):
+        cp = compile_program(dgefa_source(16), Options(nprocs=4))
+        return cp
+
+    def test_one_broadcast_per_k(self, compiled):
+        dgefa = compiled.program.unit("dgefa")
+        bcasts = [
+            s for s in A.walk_stmts(dgefa.body) if isinstance(s, A.Bcast)
+        ]
+        assert len(bcasts) == 1  # inside the k loop, outside the j loop
+        k_loop = [s for s in dgefa.body if isinstance(s, A.Do)][0]
+        assert any(s is bcasts[0] for s in k_loop.body)
+
+    def test_bcast_section_is_pivot_column(self, compiled):
+        from repro.lang.printer import expr_str
+
+        dgefa = compiled.program.unit("dgefa")
+        bcast = next(
+            s for s in A.walk_stmts(dgefa.body) if isinstance(s, A.Bcast)
+        )
+        rendered = " ".join(expr_str(x) for x in bcast.subs)
+        # a(k+1 : n, k) — n folded to its propagated constant value 16
+        assert rendered == "k + 1:16 k"
+
+    def test_dscal_guarded_by_owner(self, compiled):
+        dgefa = compiled.program.unit("dgefa")
+        guards = [
+            s for s in A.walk_stmts(dgefa.body)
+            if isinstance(s, A.If)
+            and any(isinstance(x, A.Call) and x.name == "dscal"
+                    for x in s.then_body)
+        ]
+        assert len(guards) == 1
+        from repro.lang.printer import expr_str
+
+        assert "my$p" in expr_str(guards[0].cond)
+
+    def test_j_loop_cyclic_stride(self, compiled):
+        from repro.lang.printer import expr_str
+
+        dgefa = compiled.program.unit("dgefa")
+        k_loop = [s for s in dgefa.body if isinstance(s, A.Do)][0]
+        j_loop = [s for s in k_loop.body if isinstance(s, A.Do)][0]
+        assert expr_str(j_loop.step) == "4"
+        assert "pmod" in expr_str(j_loop.lo)
+
+    def test_daxpy_body_has_no_comm_or_guards(self, compiled):
+        daxpy = compiled.program.unit("daxpy")
+        for s in A.walk_stmts(daxpy.body):
+            assert not isinstance(s, (A.Send, A.Recv, A.Bcast, A.If))
+
+    def test_no_rtr_fallbacks(self, compiled):
+        assert compiled.report.rtr_fallbacks == []
+
+
+class TestPerformanceShape:
+    """§9's empirical claim: interprocedural optimization is crucial."""
+
+    @pytest.fixture(scope="class")
+    def stats(self):
+        out = {}
+        for mode in (Mode.INTER, Mode.INTRA, Mode.RTR):
+            _cp, res = compile_and_run(16, 4, mode, cost=IPSC860)
+            out[mode] = res.stats
+        return out
+
+    def test_ordering(self, stats):
+        assert stats[Mode.INTER].time_us < stats[Mode.INTRA].time_us
+        assert stats[Mode.INTRA].time_us < stats[Mode.RTR].time_us
+
+    def test_rtr_order_of_magnitude_slower(self, stats):
+        assert stats[Mode.RTR].time_us > 10 * stats[Mode.INTER].time_us
+
+    def test_message_counts(self, stats):
+        n = 16
+        # INTER: one broadcast per k step
+        assert stats[Mode.INTER].collectives == n - 1
+        assert stats[Mode.INTER].messages == 0
+        # INTRA: roughly one point-to-point per daxpy call that crosses
+        # owners; far more than n-1 operations
+        assert stats[Mode.INTRA].total_messages > 3 * (n - 1)
+        # RTR: element-granularity messages dominate everything
+        assert stats[Mode.RTR].messages > stats[Mode.INTRA].total_messages
+
+    def test_guard_explosion_under_rtr(self, stats):
+        assert stats[Mode.RTR].guards > 20 * max(stats[Mode.INTER].guards, 1)
+
+
+class TestHandcodedComparison:
+    def test_handcoded_matches_reference(self):
+        n, P = 16, 4
+        init, ref = reference(n)
+        m = Machine(P, FREE)
+        results = m.run(lambda ctx: handcoded_dgefa_spmd(ctx, n, init))
+        got = np.array(results[0])
+        for rank in range(P):
+            for j in range(n):
+                if j % P == rank:
+                    got[:, j] = results[rank][:, j]
+        assert np.allclose(got, ref)
+
+    def test_compiled_close_to_handcoded(self):
+        """The compiled INTER code should approach hand-written node
+        code (§9): same collective count, time within a small factor."""
+        n, P = 16, 4
+        init, ref = reference(n)
+        m = Machine(P, IPSC860)
+        m.run(lambda ctx: handcoded_dgefa_spmd(ctx, n, init))
+        hand = m.stats
+        _cp, res = compile_and_run(n, P, Mode.INTER, cost=IPSC860)
+        assert res.stats.collectives == hand.collectives
+        assert res.stats.time_us <= 3.0 * hand.time_us
+
+
+class TestDgesl:
+    """The LINPACK solve pair: factor then forward/back substitution."""
+
+    def setup_pair(self, n, P, mode):
+        from repro.apps import (
+            dgefa_dgesl_source,
+            dgesl_reference,
+        )
+
+        init = make_dgefa_init(n)
+        a = np.empty((n, n))
+        for i in range(n):
+            for j in range(n):
+                a[i, j] = init("a", (i + 1, j + 1))
+        lu = dgefa_reference_lu(a)
+        bref = dgesl_reference(lu)
+        cp = compile_program(dgefa_dgesl_source(n),
+                             Options(nprocs=P, mode=mode))
+        res = cp.run(cost=FREE, init_fn=init)
+        return cp, res, lu, bref
+
+    @pytest.mark.parametrize("mode", [Mode.INTER, Mode.INTRA])
+    def test_solve_correct(self, mode):
+        _cp, res, lu, bref = self.setup_pair(16, 4, mode)
+        assert np.allclose(res.gathered("a"), lu)
+        assert np.allclose(res.gathered("b"), bref)
+
+    @pytest.mark.parametrize("P", [2, 3, 4])
+    def test_proc_counts(self, P):
+        _cp, res, lu, bref = self.setup_pair(12, P, Mode.INTER)
+        assert np.allclose(res.gathered("b"), bref)
+
+    def test_substitution_broadcasts_stay_in_k_loops(self):
+        cp, _res, _lu, _bref = self.setup_pair(16, 4, Mode.INTER)
+        dgesl = cp.program.unit("dgesl")
+        loops = [s for s in dgesl.body if isinstance(s, A.Do)]
+        # the two substitution loops carry per-iteration broadcasts of
+        # the pivot column owned by mod(k-1, P)
+        fwd_bcasts = [s for s in loops[1].body if isinstance(s, A.Bcast)]
+        bwd_bcasts = [s for s in loops[2].body if isinstance(s, A.Bcast)]
+        assert len(fwd_bcasts) == 1
+        assert len(bwd_bcasts) == 2  # pivot element + column segment
+
+    def test_callees_free_of_communication(self):
+        cp, _res, _lu, _bref = self.setup_pair(16, 4, Mode.INTER)
+        for unit in ("forward", "backward"):
+            proc = cp.program.unit(unit)
+            assert not any(
+                isinstance(s, (A.Send, A.Recv, A.Bcast))
+                for s in A.walk_stmts(proc.body)
+            )
+
+
+class TestPivotedDgefa:
+    """Full LINPACK dgefa with partial pivoting."""
+
+    @staticmethod
+    def general_init(name, idx):
+        if len(idx) != 2:
+            return 0.0
+        i, j = idx
+        return ((i * 37 + j * 23) % 101) / 101.0 - 0.5
+
+    def run_case(self, n, P, mode=Mode.INTER):
+        from repro.apps import dgefa_pivot_reference, dgefa_pivot_source
+        from repro.interp import run_sequential
+        from repro.lang import parse
+
+        init = self.general_init
+        a = np.empty((n, n))
+        for i in range(n):
+            for j in range(n):
+                a[i, j] = init("a", (i + 1, j + 1))
+        ref, pivots = dgefa_pivot_reference(a)
+        src = dgefa_pivot_source(n)
+        seq = run_sequential(parse(src), init_fn=init)
+        assert np.allclose(seq.arrays["a"].data, ref)
+        cp = compile_program(src, Options(nprocs=P, mode=mode))
+        res = cp.run(cost=FREE, init_fn=init)
+        assert np.allclose(res.gathered("a"), ref)
+        return cp, res, pivots
+
+    @pytest.mark.parametrize("mode", [Mode.INTER, Mode.INTRA])
+    def test_correct(self, mode):
+        cp, res, pivots = self.run_case(16, 4, mode)
+        assert any(p != k for k, p in enumerate(pivots)), \
+            "test matrix must actually require pivoting"
+
+    @pytest.mark.parametrize("P", [2, 3, 4])
+    def test_proc_counts(self, P):
+        self.run_case(12, P)
+
+    def test_no_fallbacks(self):
+        cp, _res, _p = self.run_case(16, 4)
+        assert cp.report.rtr_fallbacks == []
+
+    def test_two_broadcasts_per_step(self):
+        """One column broadcast for the pivot search, one for the
+        multipliers; everything else local."""
+        cp, res, _p = self.run_case(16, 4)
+        assert res.stats.collectives == 2 * 15
+        assert res.stats.messages == 0
+
+    def test_search_bcast_before_search_loop(self):
+        cp, _res, _p = self.run_case(16, 4)
+        piv = cp.program.unit("pivgefa")
+        k_loop = [s for s in piv.body if isinstance(s, A.Do)][0]
+        kinds = [type(s).__name__ for s in k_loop.body]
+        first_bcast = kinds.index("Bcast")
+        first_do = kinds.index("Do")
+        assert first_bcast < first_do
+
+    def test_rowswap_fully_local(self):
+        cp, _res, _p = self.run_case(16, 4)
+        rs = cp.program.unit("rowswap")
+        for s in A.walk_stmts(rs.body):
+            assert not isinstance(s, (A.Send, A.Recv, A.Bcast))

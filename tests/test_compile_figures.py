@@ -1,0 +1,206 @@
+"""End-to-end compilation tests for the paper's worked examples.
+
+Every test compiles a figure's program, runs it on the simulated
+machine, checks the results against sequential execution, and asserts
+the *shape* the paper derives by hand (message counts, bounds reduction,
+remap ladders).
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import FIG1, FIG4, FIG15, fig1_source, fig4_source
+from repro.core import DynOpt, Mode, Options, compile_program
+from repro.interp import run_sequential
+from repro.lang import ast as A
+from repro.lang import parse
+from repro.machine import FREE
+
+
+def run_modes(src, arr, P=4, modes=(Mode.INTER,), dynopt=DynOpt.KILLS,
+              cost=FREE):
+    seq = run_sequential(parse(src)).arrays[arr].data
+    out = {}
+    for mode in modes:
+        cp = compile_program(src, Options(nprocs=P, mode=mode, dynopt=dynopt))
+        res = cp.run(cost=cost)
+        assert np.allclose(res.gathered(arr), seq), f"{mode} wrong results"
+        out[mode] = (cp, res)
+    return out
+
+
+class TestFig1:
+    """Figure 1 -> Figure 2: block-distributed shift."""
+
+    def test_results_match_all_modes(self):
+        run_modes(FIG1, "x", modes=(Mode.INTER, Mode.INTRA, Mode.RTR))
+
+    def test_inter_message_shape(self):
+        (_cp, res), = run_modes(FIG1, "x").values()
+        # two shift points (main loop + f1's loop), vectorized: one
+        # 5-element message per neighbour pair each
+        assert res.stats.messages == 2 * 3
+        assert res.stats.bytes == 2 * 3 * 5 * 8
+
+    def test_loop_bounds_reduced(self):
+        cp, _res = run_modes(FIG1, "x")[Mode.INTER]
+        f1 = cp.program.unit("f1")
+        loop = [s for s in A.walk_stmts(f1.body) if isinstance(s, A.Do)][0]
+        # Figure 2: ub$1 = min(95, ...) and lb depends on my$p
+        from repro.lang.printer import expr_str
+
+        assert "my$p" in expr_str(loop.lo)
+        assert "min" in expr_str(loop.hi)
+
+    def test_rtr_messages_elementwise(self):
+        _, res = run_modes(FIG1, "x", modes=(Mode.RTR,))[Mode.RTR]
+        # 5 boundary elements per neighbour pair per loop, one message
+        # each: far more messages than the vectorized 6
+        assert res.stats.messages == 2 * 3 * 5
+        # and every iteration evaluates ownership guards
+        assert res.stats.guards > 2 * 95
+
+    def test_rtr_slower_than_inter(self):
+        from repro.machine import IPSC860
+
+        seq = run_sequential(parse(FIG1)).arrays["x"].data
+        times = {}
+        for mode in (Mode.INTER, Mode.RTR):
+            cp = compile_program(FIG1, Options(nprocs=4, mode=mode))
+            res = cp.run(cost=IPSC860)
+            assert np.allclose(res.gathered("x"), seq)
+            times[mode] = res.stats.time_us
+        assert times[Mode.RTR] > 3 * times[Mode.INTER]
+
+    def test_delayed_comm_hoisted_to_main(self):
+        cp, _ = run_modes(FIG1, "x")[Mode.INTER]
+        f1 = cp.program.unit("f1")
+        # f1 contains no communication: it was exported to the caller
+        assert not any(
+            isinstance(s, (A.Send, A.Recv, A.Bcast))
+            for s in A.walk_stmts(f1.body)
+        )
+        main = cp.program.main
+        assert any(
+            isinstance(s, (A.Send, A.Recv))
+            for s in A.walk_stmts(main.body)
+        )
+
+
+class TestFig4:
+    """Figure 4 -> Figure 10 (INTER) vs Figure 12 (INTRA)."""
+
+    def test_results_all_modes(self):
+        run_modes(FIG4, "x", modes=(Mode.INTER, Mode.INTRA))
+        run_modes(FIG4, "y", modes=(Mode.INTER, Mode.INTRA))
+
+    def test_inter_single_vectorized_message_per_pair(self):
+        _, res = run_modes(FIG4, "x")[Mode.INTER]
+        # one [5 x 100] message per neighbour pair — Figure 10
+        assert res.stats.messages == 3
+        assert res.stats.bytes == 3 * 5 * 100 * 8
+
+    def test_intra_hundred_messages(self):
+        _, res = run_modes(FIG4, "x", modes=(Mode.INTRA,))[Mode.INTRA]
+        # Figure 12: one [5 x 1] message per i iteration per pair
+        assert res.stats.messages == 3 * 100
+        assert res.stats.bytes == 3 * 5 * 100 * 8  # same volume
+
+    def test_message_ratio_is_100x(self):
+        inter = run_modes(FIG4, "x")[Mode.INTER][1]
+        intra = run_modes(FIG4, "x", modes=(Mode.INTRA,))[Mode.INTRA][1]
+        assert intra.stats.messages == 100 * inter.stats.messages
+
+    def test_j_loop_bounds_reduced_in_caller(self):
+        """Figure 10: the j loop shrinks to the 25 owned columns."""
+        cp, res = run_modes(FIG4, "y")[Mode.INTER]
+        main = cp.program.main
+        loops = [s for s in main.body if isinstance(s, A.Do)]
+        from repro.lang.printer import expr_str
+
+        j_loop = loops[1]
+        assert "my$p" in expr_str(j_loop.lo)
+        # i loop unreduced (row-distributed callee partitions on k)
+        i_loop = loops[0]
+        assert expr_str(i_loop.lo) == "1" and expr_str(i_loop.hi) == "100"
+
+    def test_clones_named_in_report(self):
+        cp, _ = run_modes(FIG4, "x")[Mode.INTER]
+        assert cp.report.cloned == {"f1": ["f1$1"], "f2": ["f2$1"]}
+
+    def test_guard_counts_favor_inter(self):
+        inter = run_modes(FIG4, "x")[Mode.INTER][1]
+        intra = run_modes(FIG4, "x", modes=(Mode.INTRA,))[Mode.INTRA][1]
+        assert intra.stats.guards > 10 * max(inter.stats.guards, 1)
+
+
+class TestFig16DynamicLadder:
+    """Figure 15 -> Figure 16 a/b/c/d remap ladder."""
+
+    LEVELS = [DynOpt.NONE, DynOpt.LIVE, DynOpt.HOIST, DynOpt.KILLS]
+
+    @pytest.fixture(scope="class")
+    def ladder(self):
+        seq = run_sequential(parse(FIG15)).arrays["x"].data
+        out = {}
+        for dyn in self.LEVELS:
+            cp = compile_program(
+                FIG15, Options(nprocs=4, mode=Mode.INTER, dynopt=dyn)
+            )
+            res = cp.run(cost=FREE)
+            assert np.allclose(res.gathered("x"), seq), dyn
+            out[dyn] = (cp, res)
+        return out
+
+    def test_16a_remaps_per_iteration(self, ladder):
+        _, res = ladder[DynOpt.NONE]
+        # 2 remaps per call x 2 calls x 10 iterations (16a)
+        assert res.stats.remaps == 40
+
+    def test_16b_live_halves_remaps(self, ladder):
+        _, res = ladder[DynOpt.LIVE]
+        # dead restore eliminated + identical cyclic remaps coalesced:
+        # 2 per iteration (16b)
+        assert res.stats.remaps == 20
+
+    def test_16c_hoisting_leaves_two(self, ladder):
+        _, res = ladder[DynOpt.HOIST]
+        assert res.stats.remaps == 2
+
+    def test_16d_array_kill_marks_one(self, ladder):
+        cp, res = ladder[DynOpt.KILLS]
+        assert res.stats.remaps == 1
+        assert cp.report.remaps_marked == 1
+        assert any(
+            isinstance(s, A.MarkDist) for s in A.walk_stmts(cp.program.main.body)
+        )
+
+    def test_ladder_monotone_in_time(self, ladder):
+        from repro.machine import IPSC860
+
+        seq = run_sequential(parse(FIG15)).arrays["x"].data
+        times = []
+        for dyn in self.LEVELS:
+            cp = compile_program(
+                FIG15, Options(nprocs=4, mode=Mode.INTER, dynopt=dyn)
+            )
+            res = cp.run(cost=IPSC860)
+            assert np.allclose(res.gathered("x"), seq)
+            times.append(res.stats.time_us)
+        assert times[0] > times[1] > times[2] >= times[3]
+
+
+class TestParameterizedFigures:
+    @pytest.mark.parametrize("n,shift", [(64, 1), (128, 7), (96, 3)])
+    def test_fig1_scaled(self, n, shift):
+        src = fig1_source(n, shift)
+        run_modes(src, "x", modes=(Mode.INTER,))
+
+    @pytest.mark.parametrize("P", [2, 4, 8])
+    def test_fig1_proc_counts(self, P):
+        src = fig1_source(96, 4)
+        run_modes(src, "x", P=P, modes=(Mode.INTER,))
+
+    def test_fig4_scaled(self):
+        run_modes(fig4_source(40, 3), "x", modes=(Mode.INTER,))
+        run_modes(fig4_source(40, 3), "y", modes=(Mode.INTER,))

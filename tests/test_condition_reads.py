@@ -1,0 +1,192 @@
+"""Tests for distributed-array reads in branch conditions: the
+pivot-search pattern (hoisted column broadcast + replicated comparison)
+and the element-broadcast fallback."""
+
+import numpy as np
+import pytest
+
+from repro.core import CompileError, Mode, Options, compile_program
+from repro.interp import run_sequential
+from repro.lang import ast as A
+from repro.lang import parse
+from repro.machine import FREE
+
+
+def check(src, scalars=(), arrays=(), P=4, mode=Mode.INTER):
+    seq = run_sequential(parse(src))
+    cp = compile_program(src, Options(nprocs=P, mode=mode))
+    res = cp.run(cost=FREE, timeout_s=60)
+    for name in arrays:
+        assert np.allclose(res.gathered(name), seq.arrays[name].data)
+    for name in scalars:
+        for fr in res.frames:
+            assert fr.scalars[name] == pytest.approx(seq.scalars[name])
+    return cp, res
+
+
+class TestPivotSearchPattern:
+    SRC = """
+program p
+real a(16, 16)
+distribute a(:, cyclic)
+do j = 1, 16
+do i = 1, 16
+  a(i, j) = abs(8.5 - i) + 0.1 * j
+enddo
+enddo
+k = 3
+big = 0.0
+l = k
+do i = k, 16
+  if (abs(a(i, k)) > big) then
+    big = abs(a(i, k))
+    l = i
+  endif
+enddo
+end
+"""
+
+    def test_argmax_replicated(self):
+        check(self.SRC, scalars=("l", "big"))
+
+    def test_single_column_broadcast(self):
+        cp, res = check(self.SRC, scalars=("l",))
+        assert res.stats.collectives == 1  # one hoisted column bcast
+        assert res.stats.messages == 0
+
+    def test_bcast_before_search_loop(self):
+        cp, _ = check(self.SRC, scalars=("l",))
+        body = cp.program.main.body
+        kinds = [type(s).__name__ for s in body]
+        assert kinds.index("Bcast") < len(kinds) - 1
+        # the broadcast immediately precedes the search loop
+        b = kinds.index("Bcast")
+        assert kinds[b + 1] == "Do"
+
+    def test_search_inside_k_loop(self):
+        """When the searched column index is a loop variable, the
+        broadcast stays inside that loop (one per k)."""
+        src = """
+program p
+real a(12, 12)
+distribute a(:, cyclic)
+do j = 1, 12
+do i = 1, 12
+  a(i, j) = abs(6.5 - i) + 0.1 * j
+enddo
+enddo
+s = 0.0
+do k = 1, 12
+  big = 0.0
+  do i = k, 12
+    if (abs(a(i, k)) > big) then
+      big = abs(a(i, k))
+    endif
+  enddo
+  s = s + big
+enddo
+end
+"""
+        cp, res = check(src, scalars=("s",))
+        assert res.stats.collectives == 12  # one bcast per k
+
+
+class TestElementFallback:
+    def test_loop_var_condition_read_element_bcasts(self):
+        """A condition reading x(i) over the distributed dimension
+        cannot hoist: per-element broadcasts keep it correct."""
+        src = """
+program p
+real x(12)
+distribute x(block)
+do i = 1, 12
+  x(i) = abs(6.5 - i)
+enddo
+nbig = 0
+do i = 1, 12
+  if (x(i) > 3.0) then
+    nbig = nbig + 1
+  endif
+enddo
+end
+"""
+        cp, res = check(src, scalars=("nbig",))
+        assert res.stats.collectives >= 12  # element broadcasts
+
+    def test_rtr_mode_also_correct(self):
+        src = """
+program p
+real x(8)
+distribute x(cyclic)
+do i = 1, 8
+  x(i) = i * 1.0
+enddo
+hit = 0.0
+if (x(5) > 4.0) then
+  hit = 1.0
+endif
+end
+"""
+        for mode in (Mode.INTER, Mode.RTR):
+            check(src, scalars=("hit",), mode=mode)
+
+    def test_partitioned_context_rejected_clearly(self):
+        """A condition reading distributed data *inside a partitioned
+        loop* cannot be compiled (the broadcast would desynchronize):
+        the compiler says so instead of miscompiling."""
+        src = """
+program p
+real x(16), y(16)
+align y(i) with x(i)
+distribute x(block)
+do i = 1, 16
+  x(i) = i * 1.0
+enddo
+do i = 2, 16
+  if (x(i - 1) > 3.0) then
+    y(i) = 1.0
+  endif
+enddo
+end
+"""
+        with pytest.raises(CompileError, match="branch condition"):
+            compile_program(src, Options(nprocs=4, mode=Mode.INTER))
+
+
+class TestNestedRewrites:
+    def test_assign_inside_distributed_cond_if(self):
+        """Statements nested in a rewritten branch still get their own
+        run-time resolution (regression: broadcasts used to replace the
+        If wholesale, skipping the nested rewrites)."""
+        src = """
+program p
+real x(8)
+distribute x(cyclic)
+do i = 1, 8
+  x(i) = i * 2.0
+enddo
+if (x(5) > 4.0) then
+  x(2) = x(7) * 10.0
+endif
+end
+"""
+        for mode in (Mode.RTR, Mode.INTER, Mode.INTRA):
+            check(src, arrays=("x",), mode=mode)
+
+    def test_else_branch_too(self):
+        src = """
+program p
+real x(8)
+distribute x(cyclic)
+do i = 1, 8
+  x(i) = i * 2.0
+enddo
+if (x(5) > 99.0) then
+  x(2) = 0.0
+else
+  x(3) = x(6) + 1.0
+endif
+end
+"""
+        for mode in (Mode.RTR, Mode.INTER):
+            check(src, arrays=("x",), mode=mode)

@@ -1,0 +1,235 @@
+"""Tests for true-dependence analysis driving message vectorization.
+
+The key paper cases:
+
+* Fig. 1  — ``X(i) = F(X(i+5))`` has *no* loop-carried true dependence
+  (only an anti-dependence), so communication vectorizes out of the loop.
+* dgefa   — the trailing-matrix update writes column ``j > k`` and the
+  pivot column ``k`` is read; the true dependence is carried by the
+  outer ``k`` loop only, so broadcasts vectorize out of ``j`` but must
+  stay inside ``k``.
+"""
+
+from repro.analysis.dependence import (
+    DimAccess,
+    classify_rsd_dim,
+    classify_subscript,
+    true_dependence,
+)
+from repro.analysis.rsd import Range, SymDim
+from repro.callgraph.acg import LoopInfo
+from repro.lang import ast as A
+
+
+def loop(var, lo=1, hi=100, depth=1, lo_expr=None):
+    lo_e = lo_expr if lo_expr is not None else A.Num(lo)
+    return LoopInfo(var, lo_e, A.Num(hi), A.ONE,
+                    A.Do(var, lo_e, A.Num(hi), A.ONE, []), depth)
+
+
+class TestClassification:
+    def test_subscript_forms(self):
+        lv = {"i"}
+        assert classify_subscript(A.Num(7), lv) == DimAccess.const(7)
+        assert classify_subscript(A.Var("i"), lv) == DimAccess.point("i", 0)
+        e = A.BinOp("+", A.Var("i"), A.Num(5))
+        assert classify_subscript(e, lv) == DimAccess.point("i", 5)
+        assert classify_subscript(A.Var("n"), lv) == DimAccess.sym("n", 0)
+        prod = A.BinOp("*", A.Var("i"), A.Num(2))
+        assert classify_subscript(prod, lv) == DimAccess.unknown()
+
+    def test_rsd_dims(self):
+        lv = {"k"}
+        assert classify_rsd_dim(Range(1, 25), lv) == DimAccess.num_range(1, 25)
+        assert classify_rsd_dim(Range(5, 5), lv) == DimAccess.const(5)
+        sym_pt = SymDim(A.Var("k"))
+        assert classify_rsd_dim(sym_pt, lv) == DimAccess.point("k", 0)
+        sym_rng = SymDim(A.BinOp("+", A.Var("k"), A.Num(1)), A.Var("n"))
+        assert classify_rsd_dim(sym_rng, lv) == DimAccess.sym_range("k", 1)
+
+    def test_rsd_symbolic_numeric_bounds(self):
+        got = classify_rsd_dim(SymDim(A.Num(2), A.Num(9)), set())
+        assert got == DimAccess.num_range(2, 9)
+
+
+class TestFig1Shift:
+    """X(i) = F(X(i+5)): anti only -> vectorizable."""
+
+    def test_forward_shift_no_true_dep(self):
+        i = loop("i", 1, 95)
+        dep = true_dependence(
+            [DimAccess.point("i", 0)], [DimAccess.point("i", 5)], [i]
+        )
+        assert dep is None
+
+    def test_backward_shift_carried(self):
+        # X(i) = F(X(i-5)): true dep carried by i with distance 5
+        i = loop("i", 6, 100)
+        dep = true_dependence(
+            [DimAccess.point("i", 0)], [DimAccess.point("i", -5)], [i]
+        )
+        assert dep is not None
+        assert dep.carried_levels == {1}
+        assert not dep.loop_independent
+
+    def test_same_subscript_loop_independent(self):
+        i = loop("i")
+        dep = true_dependence(
+            [DimAccess.point("i", 0)], [DimAccess.point("i", 0)], [i]
+        )
+        assert dep is not None
+        assert dep.loop_independent
+        assert not dep.carried_levels
+
+
+class TestConstantsAndRanges:
+    def test_distinct_constants_independent(self):
+        assert true_dependence([DimAccess.const(1)], [DimAccess.const(2)], []) is None
+
+    def test_equal_constants_loop_independent(self):
+        dep = true_dependence([DimAccess.const(3)], [DimAccess.const(3)], [])
+        assert dep is not None and dep.loop_independent
+
+    def test_disjoint_ranges_independent(self):
+        dep = true_dependence(
+            [DimAccess.num_range(1, 10)], [DimAccess.num_range(20, 30)], []
+        )
+        assert dep is None
+
+    def test_overlapping_ranges_dep(self):
+        k = loop("k")
+        dep = true_dependence(
+            [DimAccess.num_range(1, 10)], [DimAccess.num_range(5, 30)], [k]
+        )
+        assert dep is not None
+        assert 1 in dep.carried_levels  # conservative
+
+    def test_const_outside_loop_range_independent(self):
+        # write X(i) for i in 1..10; read X(50): no dep
+        i = loop("i", 1, 10)
+        dep = true_dependence(
+            [DimAccess.point("i", 0)], [DimAccess.const(50)], [i]
+        )
+        assert dep is None
+
+    def test_const_inside_loop_range_dep(self):
+        i = loop("i", 1, 10)
+        dep = true_dependence(
+            [DimAccess.point("i", 0)], [DimAccess.const(5)], [i]
+        )
+        assert dep is not None
+
+
+class TestMultiDim:
+    def test_any_dim_independent_kills_dep(self):
+        i = loop("i")
+        dep = true_dependence(
+            [DimAccess.point("i", 0), DimAccess.const(1)],
+            [DimAccess.point("i", 0), DimAccess.const(2)],
+            [i],
+        )
+        assert dep is None
+
+    def test_conflicting_distances_same_loop(self):
+        # X(i, i) vs X(i+1, i+2): requires d==1 and d==2 simultaneously
+        i = loop("i")
+        dep = true_dependence(
+            [DimAccess.point("i", 1), DimAccess.point("i", 2)],
+            [DimAccess.point("i", 0), DimAccess.point("i", 0)],
+            [i],
+        )
+        assert dep is None
+
+    def test_2d_shift_fig4(self):
+        # Z(k, i) = F(Z(k+5, i)): no true dep on k (forward shift), i equal
+        k = loop("k", 1, 95, depth=1)
+        dep = true_dependence(
+            [DimAccess.point("k", 0), DimAccess.sym("i", 0)],
+            [DimAccess.point("k", 5), DimAccess.sym("i", 0)],
+            [k],
+        )
+        assert dep is None
+
+
+class TestDgefaPattern:
+    """The §9 case study's dependence structure at the dgefa level."""
+
+    def make_nest(self):
+        k = loop("k", 1, 99, depth=1)
+        j = loop("j", 0, 100, depth=2,
+                 lo_expr=A.BinOp("+", A.Var("k"), A.Num(1)))  # j = k+1, n
+        return k, j
+
+    def test_update_write_vs_pivot_read_carried_at_k_only(self):
+        """W: a(k+1:n, j) (daxpy lhs), R: a(k+1:n, k) (pivot column).
+
+        Using j >= k+1, the dependence is carried at the k loop only —
+        the broadcast vectorizes out of the j loop.
+        """
+        k, j = self.make_nest()
+        w = [DimAccess.sym_range("k", 1), DimAccess.point("j", 0)]
+        r = [DimAccess.sym_range("k", 1), DimAccess.point("k", 0)]
+        dep = true_dependence(w, r, [k, j])
+        assert dep is not None
+        assert dep.carried_levels == {1}
+        assert not dep.loop_independent
+        assert dep.deepest() == 1
+
+    def test_dscal_write_vs_daxpy_read_loop_independent(self):
+        """W: a(k+1:n, k) (dscal), R: a(k+1:n, k) (daxpy) in the same k
+        iteration -> loop-independent: communication must follow dscal."""
+        k, j = self.make_nest()
+        w = [DimAccess.sym_range("k", 1), DimAccess.point("k", 0)]
+        r = [DimAccess.sym_range("k", 1), DimAccess.point("k", 0)]
+        dep = true_dependence(w, r, [k, j])
+        assert dep is not None
+        assert dep.loop_independent
+
+    def test_pivot_write_vs_future_column_read_no_dep(self):
+        """W: a(k+1:n, k) (dscal at iter k), R: a(k+1:n, j) with j > k:
+        the read happens at an earlier-or-same k for larger column —
+        no true dependence from the k_w write to reads of columns j > k
+        within the same iteration ordering (read of col j at iter k < j
+        precedes the dscal write of col j)."""
+        k, j = self.make_nest()
+        w = [DimAccess.sym_range("k", 1), DimAccess.point("k", 0)]
+        r = [DimAccess.sym_range("k", 1), DimAccess.point("j", 0)]
+        dep = true_dependence(w, r, [k, j])
+        # j_r >= k_r + 1 and element column k_w == j_r => d_k <= -1
+        assert dep is None
+
+    def test_without_bound_relation_conservative(self):
+        k = loop("k", 1, 99, depth=1)
+        j = loop("j", 1, 100, depth=2)  # no provable j > k
+        w = [DimAccess.sym_range("k", 1), DimAccess.point("j", 0)]
+        r = [DimAccess.sym_range("k", 1), DimAccess.point("k", 0)]
+        dep = true_dependence(w, r, [k, j])
+        assert dep is not None
+        # conservative: may be carried at either level
+        assert 1 in dep.carried_levels and 2 in dep.carried_levels
+
+
+class TestUnknowns:
+    def test_unknown_dim_conservative(self):
+        i = loop("i")
+        dep = true_dependence(
+            [DimAccess.unknown()], [DimAccess.point("i", 0)], [i]
+        )
+        assert dep is not None
+        assert dep.carried_levels == {1}
+        assert dep.loop_independent
+
+    def test_w_before_r_false_suppresses_loop_independent(self):
+        dep = true_dependence(
+            [DimAccess.const(3)], [DimAccess.const(3)], [], w_before_r=False
+        )
+        assert dep is None
+
+    def test_symbolic_same_offset(self):
+        dep = true_dependence([DimAccess.sym("n", 0)], [DimAccess.sym("n", 0)], [])
+        assert dep is not None and dep.loop_independent
+
+    def test_symbolic_distinct_offsets(self):
+        assert true_dependence(
+            [DimAccess.sym("n", 0)], [DimAccess.sym("n", 1)], []
+        ) is None

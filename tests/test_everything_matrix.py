@@ -1,0 +1,100 @@
+"""The grand integration matrix: every application x every compilation
+mode x several machine sizes, all validated against sequential
+execution.  Slowest pieces use small problem sizes; this file is the
+broad safety net behind refactorings."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    FIG1,
+    FIG4,
+    FIG15,
+    adi_source,
+    dgefa_reference_lu,
+    dgefa_source,
+    make_dgefa_init,
+    cg_source,
+    stencil1d_source,
+    stencil2d_source,
+    wave_source,
+)
+from repro.core import DynOpt, Mode, Options, compile_program
+from repro.interp import run_sequential
+from repro.lang import parse
+from repro.machine import FREE
+
+APPS = [
+    ("fig1", FIG1, "x", None),
+    ("fig4", FIG4, "x", None),
+    ("fig15", FIG15, "x", None),
+    ("stencil1d", stencil1d_source(48, 2), "x", None),
+    ("stencil2d", stencil2d_source(16, 2), "a", None),
+    ("adi", adi_source(12, 2), "a", None),
+    ("wave", wave_source(48, 2), "u", None),
+    ("dgefa", dgefa_source(10), "a", make_dgefa_init(10)),
+    ("cg", cg_source(32, 4), "x", None),
+]
+
+MODES = [Mode.INTER, Mode.INTRA, Mode.RTR]
+
+
+@pytest.mark.parametrize("mode", MODES, ids=[m.value for m in MODES])
+@pytest.mark.parametrize(
+    "name,src,arr,init", APPS, ids=[a[0] for a in APPS]
+)
+def test_app_mode_matrix(name, src, arr, init, mode):
+    if init is not None:
+        ref_frame = run_sequential(parse(src), init_fn=init)
+    else:
+        ref_frame = run_sequential(parse(src))
+    ref = ref_frame.arrays[arr].data
+    cp = compile_program(src, Options(nprocs=4, mode=mode))
+    res = cp.run(cost=FREE, init_fn=init, timeout_s=120)
+    got = res.gathered(arr)
+    assert np.allclose(got, ref), f"{name} under {mode}"
+
+
+@pytest.mark.parametrize("P", [1, 2, 3, 5, 8])
+def test_processor_scaling_matrix(P):
+    for name, src, arr, init in APPS[:4]:
+        ref_frame = run_sequential(parse(src))
+        ref = ref_frame.arrays[arr].data
+        cp = compile_program(src, Options(nprocs=P, mode=Mode.INTER))
+        res = cp.run(cost=FREE, init_fn=init, timeout_s=120)
+        assert np.allclose(res.gathered(arr), ref), (name, P)
+
+
+@pytest.mark.parametrize("dyn", list(DynOpt))
+def test_dynopt_matrix(dyn):
+    for src, arr in ((FIG15, "x"), (adi_source(12, 2), "a")):
+        ref = run_sequential(parse(src)).arrays[arr].data
+        cp = compile_program(
+            src, Options(nprocs=4, mode=Mode.INTER, dynopt=dyn)
+        )
+        res = cp.run(cost=FREE, timeout_s=120)
+        assert np.allclose(res.gathered(arr), ref), (arr, dyn)
+
+
+class TestCompileDeterminism:
+    def test_same_input_same_output(self):
+        """Compilation is deterministic: identical node programs and
+        identical run statistics across repeated compilations."""
+        a = compile_program(FIG4, Options(nprocs=4))
+        b = compile_program(FIG4, Options(nprocs=4))
+        assert a.text() == b.text()
+        ra = a.run(cost=FREE)
+        rb = b.run(cost=FREE)
+        assert ra.stats.messages == rb.stats.messages
+        assert ra.stats.bytes == rb.stats.bytes
+        assert np.allclose(ra.gathered("x"), rb.gathered("x"))
+
+    def test_simulated_times_reproducible(self):
+        from repro.machine import IPSC860
+
+        t = [
+            compile_program(FIG1, Options(nprocs=4)).run(cost=IPSC860)
+            .stats.time_us
+            for _ in range(3)
+        ]
+        assert t[0] == t[1] == t[2]

@@ -1,0 +1,52 @@
+"""Smoke tests: every example script runs to completion and prints its
+headline results (small sizes where parameterizable)."""
+
+import runpy
+import sys
+
+import pytest
+
+
+def run_example(path, argv=None, capsys=None):
+    old_argv = sys.argv
+    sys.argv = [path] + (argv or [])
+    try:
+        runpy.run_path(path, run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out if capsys else ""
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("examples/quickstart.py", capsys=capsys)
+        assert "matches sequential execution: True" in out
+        assert "run-time res" in out
+
+    def test_dgefa_case_study_small(self, capsys):
+        out = run_example("examples/dgefa_case_study.py", ["12", "4"],
+                          capsys=capsys)
+        assert out.count("True") >= 4
+        assert "hand-coded" in out
+
+    def test_dynamic_redistribution(self, capsys):
+        out = run_example("examples/dynamic_redistribution_adi.py",
+                          capsys=capsys)
+        assert "16d" in out
+        assert "mark x as (block)" in out
+
+    def test_recompilation_demo(self, capsys):
+        out = run_example("examples/recompilation_demo.py", capsys=capsys)
+        assert "initial build" in out
+        assert "no edit" in out
+
+    @pytest.mark.slow
+    def test_stencil_pipeline(self, capsys):
+        out = run_example("examples/stencil_pipeline.py", capsys=capsys)
+        assert "1-D relaxation" in out
+
+    def test_cg_solver(self, capsys):
+        out = run_example("examples/cg_solver.py", ["48", "6", "4"],
+                          capsys=capsys)
+        assert "matches sequential execution: True" in out
+        assert "identical on all nodes: True" in out

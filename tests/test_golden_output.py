@@ -1,0 +1,100 @@
+"""Golden-output tests: the generated node programs for the paper's
+figures, locked as text.  These are deliberately brittle — any change to
+bound arithmetic, guard shapes, or communication placement shows up as
+a readable diff against the figure-style output."""
+
+import textwrap
+
+from repro.apps import FIG1, dgefa_source
+from repro.core import Mode, Options, compile_program
+from repro.lang.printer import procedure_str
+
+
+def compiled_unit(src, unit, mode=Mode.INTER, **opt):
+    cp = compile_program(src, Options(nprocs=4, mode=mode, **opt))
+    return procedure_str(cp.program.unit(unit)) + "\n"
+
+
+FIG2_F1 = """\
+subroutine f1(x)
+  real x(100)
+  my$p = myproc()
+  do i = 1 + my$p * 25, min(95, 1 + (my$p + 1) * 25 - 1)
+    x(i) = f(x(i + 5))
+  enddo
+end
+"""
+
+DGEFA_EXPECTED = """\
+subroutine dgefa(a, n)
+  real a(n, n)
+  integer n
+  integer k
+  integer j
+  my$p = myproc()
+  do k = 1, n - 1
+    if (mod(k - 1, 4) == my$p) then
+      call dscal(a, n, k)
+    endif
+    broadcast a(k + 1:16, k) from mod(k - 1, 4)  ! daxpy:a[i, k]
+    do j = k + 1 + pmod(my$p - (k + 1 - 1), 4), n, 4
+      call daxpy(a, n, k, j)
+    enddo
+  enddo
+end
+"""
+
+DAXPY_EXPECTED = """\
+subroutine daxpy(a, n, k, j)
+  real a(n, n)
+  integer n
+  integer k
+  integer j
+  integer i
+  do i = k + 1, n
+    a(i, j) = a(i, j) - a(k, j) * a(i, k)
+  enddo
+end
+"""
+
+
+class TestGoldenFigures:
+    def test_fig2_f1(self):
+        assert compiled_unit(FIG1, "f1") == FIG2_F1
+
+    def test_dgefa(self):
+        assert compiled_unit(dgefa_source(16), "dgefa") == DGEFA_EXPECTED
+
+    def test_daxpy_untouched(self):
+        """daxpy's body needs no guards or communication: its partition
+        and its pivot-column fetch both moved to the caller."""
+        assert compiled_unit(dgefa_source(16), "daxpy") == DAXPY_EXPECTED
+
+    def test_fig3_rtr_shape(self):
+        text = compiled_unit(FIG1, "f1", mode=Mode.RTR)
+        expected_fragments = [
+            "if (my$p == owner(x(i + 5)) .and. my$p /= owner(x(i))) then",
+            "send x(i + 5) to owner(x(i))",
+            "if (my$p == owner(x(i))) then",
+            "recv x(i + 5) from owner(x(i + 5))",
+            "x(i) = f(x(i + 5))",
+        ]
+        pos = -1
+        for frag in expected_fragments:
+            nxt = text.find(frag)
+            assert nxt > pos, f"missing/ misordered: {frag}"
+            pos = nxt
+
+    def test_fig2_main_comm_shape(self):
+        cp = compile_program(FIG1, Options(nprocs=4, mode=Mode.INTER))
+        text = procedure_str(cp.program.main)
+        assert "if (my$p > 0) then" in text
+        assert "send x(1 + my$p * 25:min(1 + my$p * 25 + 4, 100)) " \
+               "to my$p - 1" in text
+        assert "if (my$p < 3) then" in text
+        assert "from my$p + 1" in text
+
+    def test_determinism_of_golden_outputs(self):
+        a = compiled_unit(dgefa_source(16), "dgefa")
+        b = compiled_unit(dgefa_source(16), "dgefa")
+        assert a == b

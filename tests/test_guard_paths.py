@@ -1,0 +1,138 @@
+"""Tests for the guard-based computation partition (the paths where
+bounds reduction is not applicable and explicit owner tests are
+generated — §5.3's "guards are introduced only if local statements have
+different iteration sets")."""
+
+import numpy as np
+import pytest
+
+from repro.core import Mode, Options, compile_program
+from repro.interp import run_sequential
+from repro.lang import ast as A
+from repro.lang import parse
+from repro.machine import FREE
+
+
+def check(src, arr, P=4, mode=Mode.INTER):
+    seq = run_sequential(parse(src)).arrays[arr].data
+    cp = compile_program(src, Options(nprocs=P, mode=mode))
+    res = cp.run(cost=FREE)
+    assert np.allclose(res.gathered(arr), seq)
+    return cp, res
+
+
+class TestStridedLoops:
+    def test_red_black_stride2_block(self):
+        """Stride-2 loops cannot be bounds-reduced for a block layout;
+        guards carry the partition instead."""
+        src = (
+            "program p\nreal x(64)\ndistribute x(block)\n"
+            "do i = 1, 64\nx(i) = i * 1.0\nenddo\n"
+            "do i = 2, 63, 2\nx(i) = 0.5 * (x(i - 1) + x(i + 1))\nenddo\n"
+            "do i = 3, 62, 2\nx(i) = 0.5 * (x(i - 1) + x(i + 1))\nenddo\n"
+            "end\n"
+        )
+        cp, res = check(src, "x")
+        assert res.stats.guards > 0
+
+    def test_stride2_results_with_odd_blocks(self):
+        src = (
+            "program p\nreal x(30)\ndistribute x(block)\n"
+            "do i = 1, 30\nx(i) = i * 1.0\nenddo\n"
+            "do i = 1, 29, 2\nx(i) = x(i) * 2\nenddo\nend\n"
+        )
+        check(src, "x", P=4)  # blocks of 8: stride lands unevenly
+
+
+class TestMixedIterationSets:
+    def test_two_arrays_different_offsets(self):
+        """Two lhs with different offsets in one loop: no single bounds
+        reduction fits; statement guards keep each correct."""
+        src = (
+            "program p\nreal x(40), y(40)\nalign y(i) with x(i)\n"
+            "distribute x(block)\n"
+            "do i = 1, 40\nx(i) = i * 1.0\ny(i) = 0.0\nenddo\n"
+            "do i = 1, 39\n"
+            "x(i) = x(i) + 1\n"
+            "y(i + 1) = x(i)\n"       # offset +1: different owner set
+            "enddo\nend\n"
+        )
+        cp, res = check(src, "y")
+        assert res.stats.guards > 0
+
+    def test_replicated_and_partitioned_mixed(self):
+        """A replicated scalar update inside a loop with partitioned
+        array statements forces guards, not bounds reduction."""
+        src = (
+            "program p\nreal x(24)\ndistribute x(block)\n"
+            "do i = 1, 24\nx(i) = i * 1.0\nenddo\n"
+            "c = 0.0\n"
+            "do i = 1, 24\n"
+            "c = c * 0.5 + 1\n"        # replicated recurrence (no idiom)
+            "x(i) = x(i) + 2\n"
+            "enddo\nend\n"
+        )
+        cp, res = check(src, "x")
+        loop = cp.program.main.body[-1]
+        assert isinstance(loop, A.Do)
+        from repro.lang.printer import expr_str
+
+        # loop bounds untouched (all procs iterate)
+        assert expr_str(loop.lo) == "1" and expr_str(loop.hi) == "24"
+        # scalar result must also be replicated consistently
+        seq = run_sequential(parse(src))
+        for fr in res.frames:
+            assert fr.scalars["c"] == pytest.approx(seq.scalars["c"])
+
+    def test_constant_subscript_guarded(self):
+        src = (
+            "program p\nreal x(40)\ndistribute x(block)\n"
+            "do i = 1, 40\nx(i) = i * 1.0\nenddo\n"
+            "x(7) = 99.0\n"
+            "x(33) = 77.0\n"
+            "end\n"
+        )
+        cp, res = check(src, "x")
+        main = cp.program.main
+        guards = [s for s in main.body if isinstance(s, A.If)]
+        assert len(guards) >= 2
+
+
+class TestBlockCyclicGuards:
+    def test_block_cyclic_local_update(self):
+        """block_cyclic loops always use guards (multi-range local
+        sets); identity accesses stay communication-free."""
+        src = (
+            "program p\nreal x(48)\ndistribute x(block_cyclic(4))\n"
+            "do i = 1, 48\nx(i) = i * 2.0\nenddo\nend\n"
+        )
+        cp, res = check(src, "x")
+        assert res.stats.messages == 0
+        assert res.stats.guards > 0
+
+    @pytest.mark.parametrize("blocksize", [1, 2, 5, 8])
+    def test_block_cyclic_sizes(self, blocksize):
+        src = (
+            f"program p\nreal x(40)\n"
+            f"distribute x(block_cyclic({blocksize}))\n"
+            f"do i = 1, 40\nx(i) = i * 3.0\nenddo\nend\n"
+        )
+        check(src, "x", P=3)
+
+
+class TestGuardCorrectnessUnderIntra:
+    def test_intra_guards_whole_callee(self):
+        """INTRA: a callee partitioned on a formal is guarded inside
+        (Figure 12's `if ((i.gt.0).AND.(i.lt.25))` shape)."""
+        src = (
+            "program p\nreal x(32, 32)\ndistribute x(:, block)\n"
+            "do j = 1, 32\ncall col(x, j)\nenddo\nend\n"
+            "subroutine col(x, j)\nreal x(32, 32)\n"
+            "do i = 1, 32\nx(i, j) = i + j * 0.5\nenddo\nend\n"
+        )
+        cp, res = check(src, "x", mode=Mode.INTRA)
+        col = cp.program.unit("col")
+        assert any(isinstance(s, A.If) for s in A.walk_stmts(col.body))
+        # and INTER removes those guards by reducing the caller's loop
+        cp2, res2 = check(src, "x", mode=Mode.INTER)
+        assert res2.stats.guards < res.stats.guards

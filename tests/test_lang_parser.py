@@ -1,0 +1,240 @@
+"""Unit tests for the Fortran D parser."""
+
+import pytest
+
+from repro.lang import ParseError, parse, program_str
+from repro.lang import ast as A
+
+
+def parse_unit(body, header="program t", decls="real x(100)\ninteger i"):
+    src = f"{header}\n{decls}\n{body}\nend\n"
+    return parse(src).units[0]
+
+
+class TestUnits:
+    def test_program_unit(self):
+        p = parse("program main\nx = 1\nend\n")
+        assert p.main.name == "main"
+        assert p.main.kind == "program"
+
+    def test_subroutine_with_formals(self):
+        p = parse("subroutine f(a, b, n)\na = b + n\nend\n")
+        u = p.unit("f")
+        assert u.kind == "subroutine"
+        assert u.formals == ["a", "b", "n"]
+
+    def test_subroutine_no_formals(self):
+        p = parse("subroutine f\nx = 1\nend\n")
+        assert p.unit("f").formals == []
+
+    def test_typed_function(self):
+        p = parse("integer function idamax(n, dx)\nidamax = n\nend\n")
+        u = p.unit("idamax")
+        assert u.kind == "function"
+        assert u.result_type == "integer"
+
+    def test_multiple_units(self):
+        src = "program p\ncall f(x)\nend\n\nsubroutine f(y)\ny = 1\nend\n"
+        p = parse(src)
+        assert p.names() == ["p", "f"]
+
+    def test_missing_end_raises(self):
+        with pytest.raises(ParseError):
+            parse("program p\nx = 1\n")
+
+
+class TestDeclarations:
+    def test_scalar_and_array_decls(self):
+        u = parse_unit("x(1) = n", decls="real x(100)\ninteger n")
+        assert u.decl("x").dims == [(A.ONE, A.Num(100))]
+        assert u.decl("n").dims == []
+        assert u.decl("n").type == "integer"
+
+    def test_2d_array(self):
+        u = parse_unit("x(1,2) = 0", decls="real x(100, 50)")
+        assert u.decl("x").rank == 2
+
+    def test_explicit_lower_bound(self):
+        u = parse_unit("x(0) = 1", decls="real x(0:10)")
+        assert u.decl("x").dims == [(A.Num(0), A.Num(10))]
+
+    def test_symbolic_bounds(self):
+        # parameterized overlaps, Figure 14
+        src = "subroutine f(x, xlo, xhi)\nreal x(xlo:xhi)\nx(1) = 0\nend\n"
+        u = parse(src).unit("f")
+        assert u.decl("x").dims == [(A.Var("xlo"), A.Var("xhi"))]
+
+    def test_parameter_statement(self):
+        u = parse_unit("x(1) = n$proc", decls="real x(10)\nparameter (n$proc = 4)")
+        assert u.param_value("n$proc") == A.Num(4)
+
+    def test_double_precision(self):
+        u = parse_unit("x(1) = 0", decls="double precision x(10)")
+        assert u.decl("x").type == "real"
+
+    def test_multiple_names_one_decl(self):
+        u = parse_unit("a = b", decls="real a, b, c(5)")
+        assert u.decl("a") and u.decl("b") and u.decl("c").rank == 1
+
+
+class TestFortranD:
+    def test_decomposition(self):
+        u = parse_unit("continue", decls="real x(100)\ndecomposition d(100)")
+        # decomposition is a body statement (executable context in our dialect)
+        p = parse("program t\nreal x(100)\ndecomposition d(100, 50)\nend\n")
+        d = p.main.body[0]
+        assert isinstance(d, A.Decomposition)
+        assert d.extents == [A.Num(100), A.Num(50)]
+
+    def test_align(self):
+        p = parse("program t\nreal y(4,4)\nalign y(i, j) with x(j, i)\nend\n")
+        al = p.main.body[0]
+        assert isinstance(al, A.Align)
+        assert al.source_subs == ["i", "j"]
+        assert al.target_subs == ["j", "i"]
+
+    def test_distribute_block(self):
+        p = parse("program t\nreal x(100)\ndistribute x(block)\nend\n")
+        d = p.main.body[0]
+        assert isinstance(d, A.Distribute)
+        assert d.specs == [A.DistSpec("block")]
+
+    def test_distribute_mixed(self):
+        p = parse("program t\ndistribute d(block, :)\nend\n")
+        assert p.main.body[0].specs == [A.DistSpec("block"), A.DistSpec("none")]
+
+    def test_distribute_block_cyclic(self):
+        p = parse("program t\ndistribute d(block_cyclic(8), :)\nend\n")
+        assert p.main.body[0].specs[0] == A.DistSpec("block_cyclic", 8)
+
+    def test_distribute_cyclic(self):
+        p = parse("program t\ndistribute d(cyclic)\nend\n")
+        assert p.main.body[0].specs == [A.DistSpec("cyclic")]
+
+
+class TestStatements:
+    def test_do_loop(self):
+        u = parse_unit("do i = 1, 95\nx(i) = 0\nenddo")
+        loop = u.body[0]
+        assert isinstance(loop, A.Do)
+        assert loop.var == "i"
+        assert loop.lo == A.Num(1)
+        assert loop.hi == A.Num(95)
+        assert loop.step == A.ONE
+
+    def test_do_loop_with_step(self):
+        u = parse_unit("do i = 1, 100, 2\nx(i) = 0\nenddo")
+        assert u.body[0].step == A.Num(2)
+
+    def test_nested_do(self):
+        u = parse_unit(
+            "do i = 1, 10\ndo j = 1, 10\nx(i) = j\nenddo\nenddo"
+        )
+        outer = u.body[0]
+        inner = outer.body[0]
+        assert isinstance(inner, A.Do) and inner.var == "j"
+
+    def test_block_if_else(self):
+        u = parse_unit("if (i > 0) then\nx(1) = 1\nelse\nx(2) = 2\nendif")
+        s = u.body[0]
+        assert isinstance(s, A.If)
+        assert len(s.then_body) == 1 and len(s.else_body) == 1
+
+    def test_logical_if(self):
+        u = parse_unit("if (i .gt. 0) x(1) = 1")
+        s = u.body[0]
+        assert isinstance(s, A.If) and not s.else_body
+
+    def test_elseif_chains(self):
+        u = parse_unit(
+            "if (i > 0) then\nx(1) = 1\nelseif (i < 0) then\nx(2) = 2\n"
+            "else\nx(3) = 3\nendif"
+        )
+        s = u.body[0]
+        nested = s.else_body[0]
+        assert isinstance(nested, A.If) and nested.else_body
+
+    def test_call(self):
+        u = parse_unit("call f1(x, i)")
+        c = u.body[0]
+        assert isinstance(c, A.Call)
+        assert c.name == "f1" and len(c.args) == 2
+
+    def test_statement_label(self):
+        u = parse_unit("do i = 1, 9\ns1: x(i) = f(x(i+5))\nenddo")
+        assert u.body[0].body[0].label == "s1"
+
+    def test_return_stop_continue(self):
+        u = parse_unit("continue\nreturn")
+        assert isinstance(u.body[0], A.Continue)
+        assert isinstance(u.body[1], A.Return)
+
+    def test_do_while(self):
+        u = parse_unit("do while (i < 10)\ni = i + 1\nenddo", decls="integer i")
+        assert isinstance(u.body[0], A.DoWhile)
+
+    def test_print(self):
+        u = parse_unit("print *, 'v', x(1)")
+        s = u.body[0]
+        assert isinstance(s, A.Print) and len(s.items) == 2
+
+
+class TestExpressions:
+    def expr(self, text, decls="real x(100)\ninteger i, j"):
+        u = parse_unit(f"i = {text}", decls=decls)
+        return u.body[0].expr
+
+    def test_precedence_mul_over_add(self):
+        e = self.expr("1 + 2 * 3")
+        assert e == A.BinOp("+", A.Num(1), A.BinOp("*", A.Num(2), A.Num(3)))
+
+    def test_power_right_assoc(self):
+        e = self.expr("2 ** 3 ** 2")
+        assert e == A.BinOp("**", A.Num(2), A.BinOp("**", A.Num(3), A.Num(2)))
+
+    def test_unary_minus(self):
+        assert self.expr("-i") == A.UnOp("-", A.Var("i"))
+
+    def test_comparison_and_logic(self):
+        e = self.expr("i > 0 .and. j < 5")
+        assert isinstance(e, A.BinOp) and e.op == ".and."
+
+    def test_array_ref_vs_function_call(self):
+        e = self.expr("x(i) + f(j)")
+        assert isinstance(e.left, A.ArrayRef)
+        assert isinstance(e.right, A.CallExpr)
+
+    def test_intrinsic_min(self):
+        e = self.expr("min(i, 3)")
+        assert e == A.CallExpr("min", (A.Var("i"), A.Num(3)))
+
+    def test_parenthesized(self):
+        e = self.expr("(1 + i) * 2")
+        assert e == A.BinOp("*", A.BinOp("+", A.Num(1), A.Var("i")), A.Num(2))
+
+    def test_user_function_resolved(self):
+        src = (
+            "program p\nreal x(10)\nx(1) = g2(x(2))\nend\n"
+            "real function g2(v)\nreal v\ng2 = v * 2\nend\n"
+        )
+        p = parse(src)
+        e = p.main.body[0].expr
+        assert isinstance(e, A.CallExpr) and e.name == "g2"
+        assert isinstance(e.args[0], A.ArrayRef)
+
+
+class TestRoundTrip:
+    """program -> text -> program must be stable (idempotent printing)."""
+
+    SOURCES = [
+        "program p\nreal x(100)\ndistribute x(block)\n"
+        "do i = 1, 95\nx(i) = f(x(i + 5))\nenddo\nend\n",
+        "subroutine f1(z, i)\nreal z(100, 100)\ncall f2(z, i)\nend\n",
+        "program p\nif (a > 0) then\nb = 1\nelse\nb = 2\nendif\nend\n",
+    ]
+
+    @pytest.mark.parametrize("src", SOURCES)
+    def test_roundtrip_stable(self, src):
+        once = program_str(parse(src))
+        twice = program_str(parse(once))
+        assert once == twice

@@ -1,0 +1,215 @@
+"""Tests for the simulated MIMD machine: network, collectives, timing."""
+
+import pytest
+
+from repro.machine import (
+    FREE,
+    IPSC860,
+    CostModel,
+    Machine,
+    SimulationError,
+)
+
+
+class TestPointToPoint:
+    def test_ring_shift(self):
+        def prog(ctx):
+            if ctx.rank < ctx.nprocs - 1:
+                ctx.send(ctx.rank + 1, 1, ctx.rank, 8)
+            if ctx.rank > 0:
+                return ctx.recv(ctx.rank - 1, 1)
+            return None
+
+        m = Machine(4, FREE)
+        res = m.run(prog)
+        assert res == [None, 0, 1, 2]
+        assert m.stats.messages == 3
+        assert m.stats.bytes == 24
+
+    def test_tag_matching(self):
+        """Receives match on (src, tag) even when messages arrive out of
+        tag order."""
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                ctx.send(1, 5, "five", 8)
+                ctx.send(1, 3, "three", 8)
+            elif ctx.rank == 1:
+                a = ctx.recv(0, 3)
+                b = ctx.recv(0, 5)
+                return (a, b)
+            return None
+
+        m = Machine(2, FREE)
+        res = m.run(prog)
+        assert res[1] == ("three", "five")
+
+    def test_send_to_self_rejected(self):
+        def prog(ctx):
+            ctx.send(ctx.rank, 0, "x", 8)
+
+        with pytest.raises(SimulationError, match="itself"):
+            Machine(2, FREE).run(prog)
+
+    def test_invalid_destination(self):
+        def prog(ctx):
+            ctx.send(99, 0, "x", 8)
+
+        with pytest.raises(SimulationError, match="invalid"):
+            Machine(2, FREE).run(prog)
+
+    def test_deadlock_detected(self):
+        def prog(ctx):
+            if ctx.rank == 1:
+                ctx.recv(0, 42)  # never sent
+
+        with pytest.raises(SimulationError, match="deadlock|aborted"):
+            Machine(2, FREE, timeout_s=0.5).run(prog)
+
+
+class TestVirtualTime:
+    def test_transfer_latency_dominates_receiver_clock(self):
+        cost = CostModel(alpha=100.0, beta=1.0, flop=0.0, loop_overhead=0.0,
+                         copy=0.0)
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                ctx.send(1, 0, b"x" * 50, 50)
+                return ctx.clock
+            ctx.recv(0, 0)
+            return ctx.clock
+
+        m = Machine(2, cost)
+        t_send, t_recv = m.run(prog)
+        assert t_send == pytest.approx(100.0)       # alpha
+        assert t_recv == pytest.approx(150.0)       # alpha + 50*beta
+
+    def test_receiver_not_rewound(self):
+        """A busy receiver's clock never goes backwards on recv."""
+        cost = CostModel(alpha=1.0, beta=0.0, flop=1.0, loop_overhead=0.0,
+                         copy=0.0)
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                ctx.send(1, 0, 1, 8)
+            else:
+                ctx.compute(10_000)  # busy until t=10000
+                ctx.recv(0, 0)
+                return ctx.clock
+            return None
+
+        m = Machine(2, cost)
+        res = m.run(prog)
+        assert res[1] >= 10_000
+
+    def test_makespan_is_max_clock(self):
+        def prog(ctx):
+            ctx.compute(100 * (ctx.rank + 1))
+
+        m = Machine(4, CostModel(flop=1.0))
+        m.run(prog)
+        assert m.stats.time_us == pytest.approx(400.0)
+
+    def test_flop_accounting(self):
+        def prog(ctx):
+            ctx.compute(25)
+
+        m = Machine(2, IPSC860)
+        m.run(prog)
+        assert all(
+            t == pytest.approx(25 * IPSC860.flop)
+            for t in m.stats.proc_times.values()
+        )
+
+
+class TestCollectives:
+    def test_broadcast_value(self):
+        def prog(ctx):
+            return ctx.broadcast(2, "data" if ctx.rank == 2 else None, 32)
+
+        res = Machine(4, FREE).run(prog)
+        assert res == ["data"] * 4
+
+    def test_broadcast_counts_once(self):
+        def prog(ctx):
+            ctx.broadcast(0, 1 if ctx.rank == 0 else None, 8)
+
+        m = Machine(4, FREE)
+        m.run(prog)
+        assert m.stats.collectives == 1
+
+    def test_allreduce_ops(self):
+        def prog(ctx):
+            s = ctx.allreduce(ctx.rank + 1, "sum")
+            mx = ctx.allreduce(ctx.rank, "max")
+            mn = ctx.allreduce(ctx.rank, "min")
+            return (s, mx, mn)
+
+        res = Machine(4, FREE).run(prog)
+        assert all(r == (10, 3, 0) for r in res)
+
+    def test_allreduce_maxloc(self):
+        def prog(ctx):
+            mags = [3.0, 9.0, 9.0, 1.0]
+            return ctx.allreduce((mags[ctx.rank], ctx.rank), "maxloc")
+
+        res = Machine(4, FREE).run(prog)
+        # ties break to the smaller index
+        assert all(r == (9.0, 1) for r in res)
+
+    def test_collective_time_tree(self):
+        cost = CostModel(alpha=10.0, beta=0.0, flop=0.0, loop_overhead=0.0,
+                         copy=0.0)
+
+        def prog(ctx):
+            ctx.broadcast(0, 0 if ctx.rank == 0 else None, 0)
+            return ctx.clock
+
+        res = Machine(8, cost).run(prog)
+        # log2(8) = 3 stages of alpha
+        assert all(t == pytest.approx(30.0) for t in res)
+
+    def test_barrier_synchronizes_clocks(self):
+        cost = CostModel(alpha=0.0, beta=0.0, flop=1.0, loop_overhead=0.0,
+                         copy=0.0)
+
+        def prog(ctx):
+            ctx.compute(100 * (ctx.rank + 1))
+            ctx.barrier()
+            return ctx.clock
+
+        res = Machine(4, cost).run(prog)
+        assert all(t == pytest.approx(400.0) for t in res)
+
+    def test_exchange(self):
+        def prog(ctx):
+            out = {dst: f"{ctx.rank}->{dst}"
+                   for dst in range(ctx.nprocs) if dst != ctx.rank}
+            inc = ctx.exchange(out, 8)
+            return sorted(inc.values())
+
+        res = Machine(3, FREE).run(prog)
+        assert res[0] == ["1->0", "2->0"]
+        assert res[2] == ["0->2", "1->2"]
+
+
+class TestErrors:
+    def test_node_exception_propagates(self):
+        def prog(ctx):
+            if ctx.rank == 1:
+                raise ValueError("boom")
+
+        with pytest.raises(SimulationError, match="boom"):
+            Machine(2, FREE).run(prog)
+
+    def test_single_proc_machine(self):
+        def prog(ctx):
+            ctx.compute(10)
+            return ctx.rank
+
+        m = Machine(1, FREE)
+        assert m.run(prog) == [0]
+
+    def test_zero_procs_rejected(self):
+        with pytest.raises(ValueError):
+            Machine(0)

@@ -1,0 +1,136 @@
+"""Tests for overlap estimation (§5.6, Fig. 13) and the Figure-2-style
+localization / parameterized overlaps (Fig. 14)."""
+
+import numpy as np
+
+from repro.apps import FIG1, FIG4, fig1_source
+from repro.callgraph.acg import ACG
+from repro.core import Mode, Options, compile_program
+from repro.core.localize import (
+    layout_summary,
+    local_declaration,
+    localized_procedure_text,
+    parameterized_declaration,
+)
+from repro.core.overlaps import (
+    estimate_overlaps,
+    local_offsets,
+    validate_overlaps,
+)
+from repro.dist import Distribution
+from repro.lang import ast as A
+from repro.lang import parse
+from repro.lang.ast import DistSpec
+
+
+class TestLocalOffsets:
+    def test_fig13_example(self):
+        """Z(k+5, i) gives overlap offset (+5, 0)."""
+        src = (
+            "subroutine f2(z, i)\nreal z(100,100)\n"
+            "do k = 1, 95\nz(k, i) = f(z(k+5, i))\nenddo\nend\n"
+        )
+        proc = parse(src).units[0]
+        offs = local_offsets(proc)
+        assert offs["z"] == [(0, 5), (0, 0)]
+
+    def test_negative_offsets(self):
+        src = (
+            "subroutine g(x)\nreal x(50)\n"
+            "do i = 4, 50\nx(i) = x(i - 3) + x(i + 2)\nenddo\nend\n"
+        )
+        offs = local_offsets(parse(src).units[0])
+        assert offs["x"] == [(-3, 2)]
+
+    def test_constant_subscripts_ignored(self):
+        src = "subroutine g(x)\nreal x(50)\nx(7) = 1\nend\n"
+        offs = local_offsets(parse(src).units[0])
+        assert offs["x"] == [(0, 0)]
+
+
+class TestInterproceduralEstimate:
+    def test_fig13_propagation(self):
+        """The Z(k+5, i) offset propagates through F1 to X and Y in P1
+        (the paper's overlap example: X gets [26:30, 100], Y none in the
+        distributed dimension)."""
+        acg = ACG(parse(FIG4))
+        est = estimate_overlaps(acg)
+        assert est.per_proc[("p1", "x")] == [(0, 5), (0, 0)]
+        assert est.per_proc[("p1", "y")] == [(0, 5), (0, 0)]
+        # broadcast back down: F1's formal inherits the estimate
+        assert est.per_proc[("f1", "z")] == [(0, 5), (0, 0)]
+
+    def test_estimate_covers_actual_fig1(self):
+        acg = ACG(parse(FIG1))
+        est = estimate_overlaps(acg)
+        cp = compile_program(FIG1, Options(nprocs=4))
+        v = validate_overlaps(est, cp.report.overlaps)
+        assert v.sufficient
+        assert v.buffer_fallbacks == []
+
+    def test_undersized_estimate_detected(self):
+        est_acg = ACG(parse(FIG1))
+        est = estimate_overlaps(est_acg)
+        # pretend codegen needed a bigger overlap than estimated
+        fake_actual = {("p1", "x"): [(0, 99)]}
+        v = validate_overlaps(est, fake_actual)
+        assert not v.sufficient
+        assert ("p1", "x", 0) in v.buffer_fallbacks
+
+    def test_compiled_overlaps_reported(self):
+        cp = compile_program(FIG1, Options(nprocs=4))
+        assert cp.report.overlaps[("p1", "x")] == [(0, 5)]
+
+
+class TestLocalization:
+    def dist1d(self, n=100, P=4):
+        return Distribution.from_specs([DistSpec("block")], [(1, n)], P)
+
+    def test_local_declaration_fig2(self):
+        """REAL X(100) block over 4 with overlap 5 -> REAL X(30)."""
+        decl = A.Decl("real", "x", [(A.ONE, A.Num(100))])
+        out = local_declaration(decl, self.dist1d(), [(0, 5)])
+        assert out.dims == [(A.Num(1), A.Num(30))]
+
+    def test_local_declaration_2d_row(self):
+        decl = A.Decl("real", "x", [(A.ONE, A.Num(100)), (A.ONE, A.Num(100))])
+        dist = Distribution.from_specs(
+            [DistSpec("block"), DistSpec("none")], [(1, 100), (1, 100)], 4
+        )
+        out = local_declaration(decl, dist, [(0, 5), (0, 0)])
+        assert out.dims[0] == (A.Num(1), A.Num(30))
+        assert out.dims[1] == (A.ONE, A.Num(100))
+
+    def test_parameterized_declaration_fig14(self):
+        decl = A.Decl("real", "x", [(A.ONE, A.Num(100))])
+        out, extra = parameterized_declaration(decl, self.dist1d())
+        assert extra == ["xlo", "xhi"]
+        assert out.dims == [(A.Var("xlo"), A.Var("xhi"))]
+
+    def test_localized_text_fig2_style(self):
+        cp = compile_program(FIG1, Options(nprocs=4))
+        f1 = cp.program.unit("f1")
+        dists = {"x": self.dist1d()}
+        text = localized_procedure_text(
+            f1, dists, {"x": cp.report.overlaps.get(("f1", "x"), [(0, 5)])}
+        )
+        assert "real x(30)" in text
+
+    def test_localized_parameterized_fig14(self):
+        cp = compile_program(FIG1, Options(nprocs=4))
+        f1 = cp.program.unit("f1")
+        text = localized_procedure_text(
+            f1, {"x": self.dist1d()}, {"x": [(0, 5)]}, parameterized=True
+        )
+        assert "subroutine f1(x, xlo, xhi)" in text
+        assert "real x(xlo:xhi)" in text
+
+    def test_layout_summary(self):
+        layouts = layout_summary({"x": self.dist1d()}, {"x": [(0, 5)]})
+        (l,) = layouts
+        assert (l.array, l.block, l.lo_overlap, l.hi_overlap) == \
+            ("x", 25, 0, 5)
+
+    def test_replicated_arrays_untouched(self):
+        dist = Distribution.replicated([(1, 10)], 4)
+        assert layout_summary({"w": dist}, {}) == []

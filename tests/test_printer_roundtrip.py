@@ -1,0 +1,117 @@
+"""Property-based round-trip tests for the printer/parser pair: randomly
+generated ASTs print to text that parses back to the same AST."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang import ast as A
+from repro.lang import parse, program_str
+
+# -- expression generator -----------------------------------------------
+
+names = st.sampled_from(["a", "b", "c", "i", "j", "k", "n"])
+
+
+def exprs(max_depth=3):
+    base = st.one_of(
+        st.integers(min_value=0, max_value=999).map(A.Num),
+        names.map(A.Var),
+    )
+
+    def extend(children):
+        binops = st.sampled_from(["+", "-", "*", "/", "**"])
+        cmps = st.sampled_from(["==", "/=", "<", "<=", ">", ">="])
+        return st.one_of(
+            st.builds(A.BinOp, binops, children, children),
+            st.builds(lambda x: A.UnOp("-", x), children),
+            st.builds(
+                lambda a, b: A.CallExpr("min", (a, b)), children, children
+            ),
+            st.builds(
+                lambda s: A.ArrayRef("x", (s,)), children
+            ),
+        )
+
+    return st.recursive(base, extend, max_leaves=8)
+
+
+arith_exprs = exprs()
+cond_exprs = st.builds(
+    A.BinOp, st.sampled_from(["==", "<", "<=", ">", ">="]),
+    arith_exprs, arith_exprs,
+)
+
+# -- statement generator ---------------------------------------------------
+
+
+def stmts(depth=0):
+    assign = st.builds(
+        A.Assign,
+        st.one_of(
+            names.map(A.Var),
+            st.builds(lambda s: A.ArrayRef("x", (s,)), arith_exprs),
+        ),
+        arith_exprs,
+    )
+    if depth >= 2:
+        return assign
+    inner = st.lists(stmts(depth + 1), min_size=1, max_size=3)
+    loop = st.builds(
+        lambda v, lo, hi, body: A.Do(v, lo, hi, A.ONE, body),
+        st.sampled_from(["i", "j", "k"]),
+        arith_exprs,
+        arith_exprs,
+        inner,
+    )
+    branch = st.builds(
+        lambda c, t, e: A.If(c, t, e),
+        cond_exprs,
+        inner,
+        st.one_of(st.just([]), inner),
+    )
+    return st.one_of(assign, loop, branch)
+
+
+programs = st.lists(stmts(), min_size=1, max_size=5).map(
+    lambda body: A.Program([
+        A.Procedure(
+            "program", "p", [],
+            [A.Decl("real", "x", [(A.ONE, A.Num(100))])],
+            [], body,
+        )
+    ])
+)
+
+
+@given(programs)
+@settings(max_examples=150, deadline=None)
+def test_print_parse_roundtrip(prog):
+    text = program_str(prog)
+    back = parse(text)
+    assert program_str(back) == text
+    assert back.main.body == prog.main.body
+
+
+@given(arith_exprs)
+@settings(max_examples=300, deadline=None)
+def test_expression_precedence_preserved(e):
+    """Printing then parsing an expression yields the same tree — the
+    printer's parenthesization matches the parser's precedence."""
+    prog = A.Program([
+        A.Procedure("program", "p", [],
+                    [A.Decl("real", "x", [(A.ONE, A.Num(100))])],
+                    [], [A.Assign(A.Var("q"), e)]),
+    ])
+    back = parse(program_str(prog))
+    assert back.main.body[0].expr == e
+
+
+@given(st.lists(st.sampled_from(["block", "cyclic", "none"]),
+                min_size=1, max_size=3))
+@settings(max_examples=100, deadline=None)
+def test_distribute_roundtrip(kinds):
+    spec_txt = ", ".join(":" if k == "none" else k for k in kinds)
+    dims = ", ".join("8" for _ in kinds)
+    src = f"program p\nreal x({dims})\ndistribute x({spec_txt})\nend\n"
+    prog = parse(src)
+    assert program_str(parse(program_str(prog))) == program_str(prog)

@@ -1,0 +1,196 @@
+"""Tests for reaching decompositions (§5.2, Fig. 6-7) and procedure
+cloning (Fig. 8)."""
+
+import pytest
+
+from repro.apps import FIG4
+from repro.callgraph.acg import ACG
+from repro.core.cloning import clone_program
+from repro.core.options import Options
+from repro.core.reaching import ReachingError, analyze_procedure, compute_reaching
+from repro.dist import TOP, Distribution
+from repro.lang import ast as A
+from repro.lang import parse
+from repro.lang.ast import DistSpec
+
+
+def opts(P=4):
+    return Options(nprocs=P)
+
+
+def dists_str(pr, array):
+    return sorted(str(d) for d in pr.reaching_dists(array))
+
+
+class TestLocalReaching:
+    def test_distribute_generates_fact(self):
+        src = "program p\nreal x(100)\ndistribute x(block)\nx(1) = 0\nend\n"
+        prog = parse(src)
+        pr = analyze_procedure(prog.main, opts())
+        assign = prog.main.body[1]
+        dists = pr.dists_of("x", assign)
+        assert len(dists) == 1
+        d = next(iter(dists))
+        assert isinstance(d, Distribution)
+        assert str(d) == "(block)"
+
+    def test_redistribute_kills_previous(self):
+        src = (
+            "program p\nreal x(100)\ndistribute x(block)\nx(1) = 0\n"
+            "distribute x(cyclic)\nx(2) = 0\nend\n"
+        )
+        prog = parse(src)
+        pr = analyze_procedure(prog.main, opts())
+        first, second = prog.main.body[1], prog.main.body[3]
+        assert dists_str_of(pr, "x", first) == ["(block)"]
+        assert dists_str_of(pr, "x", second) == ["(cyclic)"]
+
+    def test_branch_join_unions(self):
+        src = (
+            "program p\nreal x(100)\ninteger c\nc = 1\n"
+            "if (c > 0) then\ndistribute x(block)\nelse\n"
+            "distribute x(cyclic)\nendif\nx(1) = 0\nend\n"
+        )
+        prog = parse(src)
+        pr = analyze_procedure(prog.main, opts())
+        use = prog.main.body[-1]
+        assert dists_str_of(pr, "x", use) == ["(block)", "(cyclic)"]
+
+    def test_formal_array_starts_top(self):
+        src = "subroutine f(x)\nreal x(100)\nx(1) = 0\nend\n"
+        prog = parse(src)
+        pr = analyze_procedure(prog.units[0], opts())
+        use = prog.units[0].body[0]
+        assert pr.dists_of("x", use) == {TOP}
+
+    def test_loop_body_sees_distribution(self):
+        src = (
+            "program p\nreal x(100)\ndistribute x(block)\n"
+            "do i = 1, 10\nx(i) = 0\nenddo\nend\n"
+        )
+        prog = parse(src)
+        pr = analyze_procedure(prog.main, opts())
+        inner = prog.main.body[1].body[0]
+        assert dists_str_of(pr, "x", inner) == ["(block)"]
+
+
+def dists_str_of(pr, array, stmt):
+    return sorted(str(d) for d in pr.dists_of(array, stmt))
+
+
+class TestInterprocedural:
+    def test_fig7_reaching_sets(self):
+        """Reaching(F1) = row ∪ col decompositions for Z (Fig. 7)."""
+        prog = parse(FIG4)
+        acg = ACG(prog)
+        result = compute_reaching(acg, opts())
+        f1 = result.per_proc["f1"]
+        assert dists_str(f1, "z") == ["(:, block)", "(block, :)"]
+        f2 = result.per_proc["f2"]
+        assert dists_str(f2, "z") == ["(:, block)", "(block, :)"]
+
+    def test_callee_changes_undone_in_caller(self):
+        """Fortran D scoping: F1's cyclic redistribution of X does not
+        reach P1's references (§5.2)."""
+        src = (
+            "program p\nreal x(100)\ndistribute x(block)\n"
+            "call f1(x)\nx(1) = 0\nend\n"
+            "subroutine f1(x)\nreal x(100)\ndistribute x(cyclic)\n"
+            "x(2) = 0\nend\n"
+        )
+        prog = parse(src)
+        result = compute_reaching(ACG(prog), opts())
+        p = result.per_proc["p"]
+        use = prog.main.body[-1]
+        assert dists_str_of(p, "x", use) == ["(block)"]
+        f1 = result.per_proc["f1"]
+        use_f1 = prog.unit("f1").body[-1]
+        assert dists_str_of(f1, "x", use_f1) == ["(cyclic)"]
+
+    def test_top_resolved_through_chain(self):
+        src = (
+            "program p\nreal x(100)\ndistribute x(cyclic)\ncall f1(x)\nend\n"
+            "subroutine f1(a)\nreal a(100)\ncall f2(a)\nend\n"
+            "subroutine f2(b)\nreal b(100)\nb(1) = 0\nend\n"
+        )
+        result = compute_reaching(ACG(parse(src)), opts())
+        assert dists_str(result.per_proc["f2"], "b") == ["(cyclic)"]
+
+    def test_symbolic_bounds_resolved_by_constants(self):
+        """Interprocedural constant propagation lets a(n, n) resolve."""
+        src = (
+            "program p\nreal x(64, 64)\ndistribute x(block, :)\n"
+            "call f(x, 64)\nend\n"
+            "subroutine f(a, n)\nreal a(n, n)\ninteger n\n"
+            "a(1, 1) = 0\nend\n"
+        )
+        result = compute_reaching(ACG(parse(src)), opts())
+        assert dists_str(result.per_proc["f"], "a") == ["(block, :)"]
+
+    def test_symbolic_distribute_without_constants_raises(self):
+        src = (
+            "subroutine f(a, n)\nreal a(n, n)\ninteger n\n"
+            "distribute a(block, :)\na(1, 1) = 0\nend\n"
+        )
+        prog = parse(src)
+        with pytest.raises(ReachingError, match="symbolic"):
+            analyze_procedure(prog.units[0], opts())
+
+
+class TestCloning:
+    def test_fig8_clones_f1_f2(self):
+        out = clone_program(parse(FIG4), opts())
+        names = out.program.names()
+        assert "f1$1" in names and "f2$1" in names
+        assert out.clones == {"f1": ["f1$1"], "f2": ["f2$1"]}
+
+    def test_clone_reaching_unique(self):
+        out = clone_program(parse(FIG4), opts())
+        for name in ("f1", "f2", "f1$1", "f2$1"):
+            pr = out.reaching.per_proc[name]
+            assert len(pr.reaching_dists("z")) == 1, name
+
+    def test_call_sites_redirected(self):
+        out = clone_program(parse(FIG4), opts())
+        acg = out.acg
+        callees = {c.callee for c in acg.calls_from("p1")}
+        assert callees == {"f1", "f1$1"}
+
+    def test_same_decomposition_shares_clone(self):
+        src = (
+            "program p\nreal x(100), y(100)\n"
+            "align y(i) with x(i)\ndistribute x(block)\n"
+            "call f(x)\ncall f(y)\nend\n"
+            "subroutine f(a)\nreal a(100)\na(1) = 0\nend\n"
+        )
+        out = clone_program(parse(src), opts())
+        assert out.clones == {}
+        assert out.program.names() == ["p", "f"]
+
+    def test_cloning_disabled_by_option(self):
+        o = opts()
+        o.enable_cloning = False
+        out = clone_program(parse(FIG4), o)
+        assert out.clones == {}
+
+    def test_growth_cap(self):
+        o = opts()
+        o.clone_growth_limit = 1.0  # any growth exceeds the cap
+        out = clone_program(parse(FIG4), o)
+        assert out.growth_capped
+        assert out.program.names() == ["p1", "f1", "f2"]
+
+    def test_filter_avoids_cloning_unreferenced_arrays(self):
+        """Filter/Appear (§5.2): differing decompositions of an array the
+        callee never touches do not force a clone."""
+        src = (
+            "program p\nreal x(100), y(100, 100)\n"
+            "distribute x(block)\ndistribute y(:, block)\n"
+            "call f(x, y)\n"
+            "distribute x(cyclic)\n"
+            "call f(x, y)\nend\n"
+            "subroutine f(a, b)\nreal a(100), b(100, 100)\n"
+            "b(1, 1) = 2\nend\n"   # uses only b; a's decomposition differs
+        )
+        out = clone_program(parse(src), opts())
+        assert out.clones == {}

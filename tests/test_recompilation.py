@@ -1,0 +1,168 @@
+"""Tests for recompilation analysis (§4, §8): separate compilation is
+preserved — only procedures whose source or interprocedural inputs
+changed are rebuilt."""
+
+import numpy as np
+
+from repro.apps import FIG1, stencil1d_source
+from repro.core import Mode, Options
+from repro.core.recompile import RecompilationManager
+from repro.interp import run_sequential
+from repro.lang import parse
+from repro.machine import FREE
+
+
+BASE = """
+program p
+real x(100)
+distribute x(block)
+call init(x)
+call smooth(x)
+end
+
+subroutine init(x)
+real x(100)
+do i = 1, 100
+  x(i) = i * 1.0
+enddo
+end
+
+subroutine smooth(x)
+real x(100)
+do i = 1, 95
+  x(i) = f(x(i + 5))
+enddo
+end
+"""
+
+#: same program, init's loop body changed (internal edit, same exports)
+EDIT_LEAF = BASE.replace("x(i) = i * 1.0", "x(i) = i * 2.0")
+
+#: main's distribution changed: everything downstream is affected
+EDIT_DIST = BASE.replace("distribute x(block)", "distribute x(cyclic)")
+
+#: smooth's shift distance changed: its exports (pending comm, overlap)
+#: change, so main must recompile too — but init must not
+EDIT_SHIFT = BASE.replace("x(i) = f(x(i + 5))", "x(i) = f(x(i + 3))")
+
+
+def manager():
+    return RecompilationManager(opts=Options(nprocs=4, mode=Mode.INTER))
+
+
+class TestInitialCompilation:
+    def test_everything_compiled_once(self):
+        m = manager()
+        m.compile(BASE)
+        assert sorted(m.last_recompiled) == ["init", "p", "smooth"]
+        assert m.last_reused == []
+
+    def test_results_correct(self):
+        m = manager()
+        cp = m.compile(BASE)
+        seq = run_sequential(parse(BASE)).arrays["x"].data
+        res = cp.run(cost=FREE)
+        assert np.allclose(res.gathered("x"), seq)
+
+
+class TestNoEdit:
+    def test_recompile_nothing(self):
+        m = manager()
+        m.compile(BASE)
+        m.compile(BASE)
+        assert m.last_recompiled == []
+        assert sorted(m.last_reused) == ["init", "p", "smooth"]
+
+    def test_reused_build_still_runs(self):
+        m = manager()
+        m.compile(BASE)
+        cp = m.compile(BASE)
+        seq = run_sequential(parse(BASE)).arrays["x"].data
+        res = cp.run(cost=FREE)
+        assert np.allclose(res.gathered("x"), seq)
+
+
+class TestLeafInternalEdit:
+    def test_only_leaf_recompiled(self):
+        """init's body changed but its interface summary (exports) did
+        not — callers keep their node code (§8's payoff)."""
+        m = manager()
+        m.compile(BASE)
+        m.compile(EDIT_LEAF)
+        assert m.last_recompiled == ["init"]
+        assert sorted(m.last_reused) == ["p", "smooth"]
+
+    def test_edited_build_correct(self):
+        m = manager()
+        m.compile(BASE)
+        cp = m.compile(EDIT_LEAF)
+        seq = run_sequential(parse(EDIT_LEAF)).arrays["x"].data
+        res = cp.run(cost=FREE)
+        assert np.allclose(res.gathered("x"), seq)
+
+
+class TestInterfaceChangingEdits:
+    def test_distribution_change_recompiles_users(self):
+        m = manager()
+        m.compile(BASE)
+        m.compile(EDIT_DIST)
+        # main's source changed; init/smooth see a different reaching
+        # decomposition -> all recompile
+        assert sorted(m.last_recompiled) == ["init", "p", "smooth"]
+
+    def test_export_change_propagates_to_callers(self):
+        m = manager()
+        m.compile(BASE)
+        m.compile(EDIT_SHIFT)
+        assert "smooth" in m.last_recompiled      # edited
+        assert "p" in m.last_recompiled           # consumes its exports
+        assert m.last_reused == ["init"]          # untouched
+
+    def test_interface_edit_correct(self):
+        m = manager()
+        m.compile(BASE)
+        cp = m.compile(EDIT_SHIFT)
+        seq = run_sequential(parse(EDIT_SHIFT)).arrays["x"].data
+        res = cp.run(cost=FREE)
+        assert np.allclose(res.gathered("x"), seq)
+
+
+class TestAcrossManyEdits:
+    def test_alternating_edits_stay_consistent(self):
+        m = manager()
+        for src in (BASE, EDIT_LEAF, BASE, EDIT_SHIFT, EDIT_LEAF):
+            cp = m.compile(src)
+            seq = run_sequential(parse(src)).arrays["x"].data
+            res = cp.run(cost=FREE)
+            assert np.allclose(res.gathered("x"), seq)
+
+    def test_recompile_counts_bounded(self):
+        """Across a session of leaf edits, total recompilations stay far
+        below whole-program rebuilds."""
+        m = manager()
+        m.compile(BASE)
+        total = 0
+        for k in (3.0, 4.0, 5.0):
+            edited = BASE.replace("x(i) = i * 1.0", f"x(i) = i * {k}")
+            m.compile(edited)
+            total += len(m.last_recompiled)
+        assert total == 3  # one procedure per edit, not 9
+
+
+class TestFigurePrograms:
+    def test_fig1_under_manager_matches_driver(self):
+        from repro.core import compile_program
+
+        m = manager()
+        cp1 = m.compile(FIG1)
+        cp2 = compile_program(FIG1, Options(nprocs=4, mode=Mode.INTER))
+        r1, r2 = cp1.run(cost=FREE), cp2.run(cost=FREE)
+        assert np.allclose(r1.gathered("x"), r2.gathered("x"))
+        assert r1.stats.messages == r2.stats.messages
+
+    def test_stencil_session(self):
+        m = manager()
+        src = stencil1d_source(64, 2)
+        m.compile(src)
+        m.compile(src)
+        assert m.last_recompiled == []

@@ -1,0 +1,167 @@
+"""Tests for reduction recognition (sum / min / max over distributed
+arrays -> partitioned partial results + global combine)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Mode, Options, compile_program
+from repro.core.reductions import (
+    _split_reduction_expr,
+    recognize_reduction,
+)
+from repro.interp import run_sequential
+from repro.lang import ast as A
+from repro.lang import parse
+from repro.machine import FREE
+
+
+def run_and_check(src, scalar, P=4):
+    seq = run_sequential(parse(src))
+    cp = compile_program(src, Options(nprocs=P, mode=Mode.INTER))
+    res = cp.run(cost=FREE)
+    for fr in res.frames:
+        assert fr.scalars[scalar] == pytest.approx(seq.scalars[scalar])
+    return cp, res
+
+
+SUM_SRC = """
+program p
+real x({n})
+distribute x({dist})
+do i = 1, {n}
+  x(i) = i * 0.5
+enddo
+s = {init}
+do i = 1, {n}
+  s = s + x(i)
+enddo
+end
+"""
+
+
+class TestSumReduction:
+    def test_block_sum(self):
+        src = SUM_SRC.format(n=100, dist="block", init="0.0")
+        cp, res = run_and_check(src, "s")
+        assert res.stats.collectives == 1
+        assert res.stats.messages == 0
+        assert not cp.report.rtr_fallbacks
+
+    def test_cyclic_sum(self):
+        src = SUM_SRC.format(n=64, dist="cyclic", init="0.0")
+        cp, res = run_and_check(src, "s")
+        assert res.stats.collectives == 1
+
+    def test_nonzero_initial_value_counted_once(self):
+        """The incoming value of s must not be multiplied by P."""
+        src = SUM_SRC.format(n=40, dist="block", init="10.0")
+        run_and_check(src, "s")
+
+    def test_reversed_operands(self):
+        src = (
+            "program p\nreal x(32)\ndistribute x(block)\n"
+            "do i = 1, 32\nx(i) = 1.0\nenddo\n"
+            "s = 0.0\ndo i = 1, 32\ns = x(i) + s\nenddo\nend\n"
+        )
+        cp, res = run_and_check(src, "s")
+        assert res.stats.collectives == 1
+
+    @pytest.mark.parametrize("P", [1, 2, 3, 4, 5])
+    def test_proc_counts(self, P):
+        src = SUM_SRC.format(n=50, dist="block", init="2.5")
+        run_and_check(src, "s", P=P)
+
+
+class TestMinMaxReduction:
+    def make(self, op):
+        return (
+            f"program p\nreal x(48)\ndistribute x(block)\n"
+            f"do i = 1, 48\nx(i) = abs(24.5 - i)\nenddo\n"
+            f"s = x(1)\ndo i = 1, 48\ns = {op}(s, x(i))\nenddo\nend\n"
+        )
+
+    def test_min(self):
+        cp, res = run_and_check(self.make("min"), "s")
+        assert res.stats.collectives >= 1
+
+    def test_max(self):
+        run_and_check(self.make("max"), "s")
+
+    def test_min_initial_value_respected(self):
+        src = (
+            "program p\nreal x(16)\ndistribute x(block)\n"
+            "do i = 1, 16\nx(i) = i + 100.0\nenddo\n"
+            "s = 1.0\ndo i = 1, 16\ns = min(s, x(i))\nenddo\nend\n"
+        )
+        run_and_check(src, "s")  # result must stay 1.0 (the seed)
+
+
+class TestRecognitionBoundaries:
+    def test_non_reduction_not_recognized(self):
+        e = parse("program p\ns = s * 2\nend\n").main.body[0].expr
+        assert _split_reduction_expr("s", e) is None
+
+    def test_accumulator_in_operand_rejected(self):
+        src = (
+            "program p\nreal x(16)\ndistribute x(block)\n"
+            "s = 0.0\ndo i = 1, 16\ns = s + x(i) * s\nenddo\nend\n"
+        )
+        prog = parse(src)
+        loop = prog.main.body[2]
+        stmt = loop.body[0]
+        from repro.core.partition import ArrayInfo
+        from repro.dist import Distribution
+        from repro.lang.ast import DistSpec
+
+        dist = Distribution.from_specs([DistSpec("block")], [(1, 16)], 4)
+        arrays = {"x": ArrayInfo("x", dist, 0)}
+        assert recognize_reduction(stmt, [loop], arrays, {}, 0) is None
+
+    def test_accumulator_used_elsewhere_rejected(self):
+        src = (
+            "program p\nreal x(16), y(16)\nalign y(i) with x(i)\n"
+            "distribute x(block)\n"
+            "s = 0.0\ndo i = 1, 16\ns = s + x(i)\ny(i) = s\nenddo\nend\n"
+        )
+        # y(i) = s makes each iteration's prefix sum observable: not a
+        # reduction.  Must still compile (RTR fallback) and be correct.
+        seq = run_sequential(parse(src))
+        cp = compile_program(src, Options(nprocs=4, mode=Mode.INTER))
+        res = cp.run(cost=FREE)
+        assert np.allclose(res.gathered("y"), seq.arrays["y"].data)
+
+    def test_replicated_array_not_a_reduction(self):
+        src = (
+            "program p\nreal w(16)\n"
+            "do i = 1, 16\nw(i) = i * 1.0\nenddo\n"
+            "s = 0.0\ndo i = 1, 16\ns = s + w(i)\nenddo\nend\n"
+        )
+        cp, res = run_and_check(src, "s")
+        assert res.stats.collectives == 0  # fully replicated, no combine
+
+
+class TestReductionInApplication:
+    def test_dot_product_through_procedure(self):
+        src = (
+            "program p\nreal x(64), y(64)\nalign y(i) with x(i)\n"
+            "distribute x(block)\n"
+            "do i = 1, 64\nx(i) = i * 0.5\ny(i) = 65.0 - i\nenddo\n"
+            "s = 0.0\n"
+            "do i = 1, 64\ns = s + x(i) * y(i)\nenddo\nend\n"
+        )
+        cp, res = run_and_check(src, "s")
+        assert res.stats.collectives == 1
+
+    def test_norm_then_scale(self):
+        src = (
+            "program p\nreal x(32)\ndistribute x(block)\n"
+            "do i = 1, 32\nx(i) = i * 1.0\nenddo\n"
+            "s = 0.0\n"
+            "do i = 1, 32\ns = s + x(i) * x(i)\nenddo\n"
+            "r = sqrt(s)\n"
+            "do i = 1, 32\nx(i) = x(i) / r\nenddo\nend\n"
+        )
+        seq = run_sequential(parse(src))
+        cp = compile_program(src, Options(nprocs=4, mode=Mode.INTER))
+        res = cp.run(cost=FREE)
+        assert np.allclose(res.gathered("x"), seq.arrays["x"].data)

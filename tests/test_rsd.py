@@ -1,0 +1,245 @@
+"""Unit + property tests for the Regular Section Descriptor algebra."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.rsd import (
+    EMPTY_RANGE,
+    RSD,
+    Range,
+    SymDim,
+    merge_rsd_list,
+    rsd,
+    subs_to_rsd,
+)
+from repro.lang import ast as A
+
+
+class TestRange:
+    def test_count(self):
+        assert Range(1, 10).count == 10
+        assert Range(1, 10, 3).count == 4
+        assert Range(5, 5).count == 1
+        assert EMPTY_RANGE.count == 0
+
+    def test_contains(self):
+        r = Range(2, 10, 2)
+        assert r.contains(4) and r.contains(10)
+        assert not r.contains(5) and not r.contains(12)
+
+    def test_contains_range(self):
+        assert Range(1, 100).contains_range(Range(5, 10))
+        assert not Range(1, 100).contains_range(Range(50, 150))
+        assert Range(1, 99, 2).contains_range(Range(3, 9, 2))
+        assert not Range(1, 99, 2).contains_range(Range(2, 8, 2))
+
+    def test_shift(self):
+        assert Range(1, 25).shift(5) == Range(6, 30)
+
+    def test_intersect_unit_steps(self):
+        assert Range(6, 30).intersect(Range(1, 25)) == Range(6, 25)
+        assert Range(1, 5).intersect(Range(10, 20)).empty
+
+    def test_intersect_strided(self):
+        # evens ∩ multiples of 3 in [1,30] = multiples of 6
+        a, b = Range(2, 30, 2), Range(3, 30, 3)
+        got = a.intersect(b)
+        assert got == Range(6, 30, 6)
+
+    def test_intersect_incompatible_phase(self):
+        assert Range(1, 99, 4).intersect(Range(3, 99, 4)).empty
+
+    def test_subtract_middle(self):
+        out = Range(1, 10).subtract(Range(4, 6))
+        assert out == [Range(1, 3), Range(7, 10)]
+
+    def test_subtract_prefix_suffix(self):
+        assert Range(6, 30).subtract(Range(1, 25)) == [Range(26, 30)]
+        assert Range(1, 25).subtract(Range(6, 30)) == [Range(1, 5)]
+
+    def test_subtract_disjoint_and_covering(self):
+        assert Range(1, 5).subtract(Range(10, 20)) == [Range(1, 5)]
+        assert Range(4, 6).subtract(Range(1, 10)) == []
+
+    def test_union_merge_adjacent(self):
+        assert Range(1, 5).union_merge(Range(6, 10)) == Range(1, 10)
+        assert Range(1, 5).union_merge(Range(7, 10)) is None
+
+    def test_union_merge_same_stride(self):
+        assert Range(1, 9, 2).union_merge(Range(11, 19, 2)) == Range(1, 19, 2)
+
+    def test_union_merge_containment(self):
+        assert Range(1, 100).union_merge(Range(5, 10)) == Range(1, 100)
+
+    def test_invalid_step(self):
+        with pytest.raises(ValueError):
+            Range(1, 10, 0)
+
+
+ranges = st.builds(
+    Range,
+    st.integers(min_value=-50, max_value=50),
+    st.integers(min_value=-50, max_value=80),
+    st.integers(min_value=1, max_value=7),
+)
+
+
+class TestRangeProperties:
+    @given(ranges, ranges)
+    @settings(max_examples=300)
+    def test_intersect_is_exact(self, a, b):
+        got = a.intersect(b)
+        expect = sorted(set(a.iter()) & set(b.iter()))
+        assert sorted(got.iter()) == expect
+
+    @given(ranges, ranges)
+    @settings(max_examples=300)
+    def test_subtract_is_exact_or_conservative(self, a, b):
+        got = a.subtract(b)
+        members = sorted(x for r in got for x in r.iter())
+        expect = sorted(set(a.iter()) - set(b.iter()))
+        if a.count <= 4096:  # exact regime
+            assert members == expect
+        else:  # conservative over-approximation allowed
+            assert set(expect) <= set(members)
+
+    @given(ranges, ranges)
+    @settings(max_examples=300)
+    def test_union_merge_sound(self, a, b):
+        m = a.union_merge(b)
+        if m is not None:
+            assert set(m.iter()) == set(a.iter()) | set(b.iter())
+
+    @given(ranges, st.integers(min_value=-20, max_value=20))
+    def test_shift_roundtrip(self, a, off):
+        assert a.shift(off).shift(-off) == a
+
+    @given(ranges)
+    def test_normalized_same_members(self, a):
+        assert list(a.normalized().iter()) == list(a.iter())
+
+
+class TestRSD:
+    def test_constructor_forms(self):
+        s = rsd((1, 25), (1, 100))
+        assert s.rank == 2 and s.count == 2500
+        assert str(rsd(5, (6, 30))) == "[5, 6:30]"
+        assert str(rsd((1, 99, 2))) == "[1:99:2]"
+
+    def test_paper_fig2_nonlocal_set(self):
+        # accessed [6:30] minus local [1:25] = nonlocal [26:30]
+        accessed, local = rsd((6, 30)), rsd((1, 25))
+        assert accessed.subtract(local) == [rsd((26, 30))]
+
+    def test_2d_subtract(self):
+        accessed = rsd((6, 30), (1, 100))
+        local = rsd((1, 25), (1, 100))
+        assert accessed.subtract(local) == [rsd((26, 30), (1, 100))]
+
+    def test_subtract_multi_axis(self):
+        a = rsd((1, 4), (1, 4))
+        b = rsd((2, 3), (2, 3))
+        pieces = a.subtract(b)
+        total = sum(p.count for p in pieces)
+        assert total == 16 - 4
+        # disjointness
+        seen = set()
+        for p in pieces:
+            for i in p.dims[0].iter():
+                for j in p.dims[1].iter():
+                    assert (i, j) not in seen
+                    seen.add((i, j))
+
+    def test_contains(self):
+        assert rsd((1, 100)).contains(rsd((26, 30)))
+        assert not rsd((1, 25)).contains(rsd((26, 30)))
+
+    def test_intersect(self):
+        got = rsd((6, 30), (1, 100)).intersect(rsd((1, 25), (1, 50)))
+        assert got == rsd((6, 25), (1, 50))
+
+    def test_shift(self):
+        assert rsd((1, 25)).shift(0, 5) == rsd((6, 30))
+
+    def test_symbolic_dim_structural_equality(self):
+        i = A.Var("i")
+        a = RSD((Range(26, 30), SymDim(i)))
+        b = RSD((Range(26, 30), SymDim(i)))
+        assert a == b
+        assert str(a) == "[26:30, i]"
+
+    def test_symbolic_subtract_conservative(self):
+        i = A.Var("i")
+        a = RSD((Range(1, 10), SymDim(i)))
+        b = RSD((Range(1, 10), SymDim(A.Var("j"))))
+        assert a.subtract(b) == [a]
+
+    def test_merge_single_axis(self):
+        a = rsd((26, 30), (1, 50))
+        b = rsd((26, 30), (51, 100))
+        assert a.merge(b) == rsd((26, 30), (1, 100))
+
+    def test_merge_refused_two_axes(self):
+        a = rsd((1, 5), (1, 50))
+        b = rsd((6, 10), (51, 100))
+        assert a.merge(b) is None
+
+    def test_merge_rsd_list_coalesces_paper_example(self):
+        # the j-loop instances X[26:30, j] for j = 1..100 coalesce into one
+        pieces = [rsd((26, 30), j) for j in range(1, 101)]
+        merged = merge_rsd_list(pieces)
+        assert merged == [rsd((26, 30), (1, 100))]
+
+    def test_empty_handling(self):
+        assert rsd(EMPTY_RANGE).empty
+        assert rsd((1, 10)).subtract(rsd((1, 10))) == []
+
+    def test_to_subs_roundtrip(self):
+        s = rsd((26, 30), 7, (1, 99, 2))
+        back = subs_to_rsd(s.to_subs())
+        assert back == s
+
+    def test_subs_to_rsd_symbolic(self):
+        out = subs_to_rsd([A.Var("i"), A.Triplet(A.Num(1), A.Num(10), None)])
+        assert isinstance(out.dims[0], SymDim)
+        assert out.dims[1] == Range(1, 10)
+
+
+dims2 = st.tuples(ranges, ranges).map(lambda t: RSD(t))
+
+
+class TestRSDProperties:
+    @given(dims2, dims2)
+    @settings(max_examples=200)
+    def test_subtract_sound_2d(self, a, b):
+        def members(s):
+            return {
+                (i, j)
+                for i in s.dims[0].iter()
+                for j in s.dims[1].iter()
+            }
+
+        got = set()
+        for p in a.subtract(b):
+            got |= members(p)
+        assert members(a) - members(b) <= got
+        assert got <= members(a)
+
+    @given(dims2, dims2)
+    @settings(max_examples=200)
+    def test_merge_sound(self, a, b):
+        m = a.merge(b)
+        if m is None:
+            return
+
+        def members(s):
+            if s.empty:
+                return set()
+            return {
+                (i, j)
+                for i in s.dims[0].iter()
+                for j in s.dims[1].iter()
+            }
+
+        assert members(m) == members(a) | members(b)

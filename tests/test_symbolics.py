@@ -1,0 +1,118 @@
+"""Unit tests for symbolic/constant analysis."""
+
+from repro.analysis.symbolics import (
+    Affine,
+    affine_of,
+    eval_const,
+    eval_int,
+    fold,
+    free_vars,
+    is_invariant,
+    substitute,
+)
+from repro.lang import ast as A
+from repro.lang import parse
+
+
+def expr(text):
+    """Parse an expression in a context where x is an array and other
+    names are scalars (so intrinsics resolve to CallExpr)."""
+    src = f"program t\nreal x(100)\nq = {text}\nend\n"
+    return parse(src).main.body[0].expr
+
+
+class TestEvalConst:
+    def test_literals(self):
+        assert eval_const(A.Num(5)) == 5
+        assert eval_const(A.Num(2.5)) == 2.5
+
+    def test_arith(self):
+        assert eval_const(expr("2 + 3 * 4")) == 14
+        assert eval_const(expr("(10 - 4) / 2")) == 3
+        assert eval_const(expr("2 ** 10")) == 1024
+
+    def test_env_lookup(self):
+        assert eval_const(expr("n$proc * 25"), {"n$proc": 4}) == 100
+
+    def test_unknown_var(self):
+        assert eval_const(expr("n + 1")) is None
+
+    def test_intrinsics(self):
+        assert eval_const(expr("min(3, 7)")) == 3
+        assert eval_const(expr("max(3, 7)")) == 7
+        assert eval_const(expr("mod(10, 3)")) == 1
+        assert eval_const(expr("abs(-4)")) == 4
+
+    def test_integer_division_truncates_toward_zero(self):
+        assert eval_const(expr("7 / 2")) == 3
+        assert eval_const(expr("-7 / 2")) == -3
+
+    def test_division_by_zero_is_none(self):
+        assert eval_const(expr("1 / 0")) is None
+
+    def test_eval_int_rejects_fractional(self):
+        assert eval_int(expr("5 / 2.0")) is None
+        assert eval_int(expr("4 / 2.0")) == 2
+
+
+class TestSubstitute:
+    def test_simple(self):
+        e = substitute(expr("i + 5"), {"i": A.Var("j")})
+        assert e == expr("j + 5")
+
+    def test_formal_to_expression(self):
+        e = substitute(expr("k + 1"), {"k": expr("m - 1")})
+        assert e == A.BinOp("+", A.BinOp("-", A.Var("m"), A.Num(1)), A.Num(1))
+
+    def test_array_subscripts(self):
+        e = substitute(expr("x(i, j)"), {"i": A.Num(3)})
+        assert e == A.ArrayRef("x", (A.Num(3), A.Var("j")))
+
+    def test_untouched_names(self):
+        e = expr("a + b")
+        assert substitute(e, {"c": A.Num(1)}) == e
+
+
+class TestFold:
+    def test_full_fold(self):
+        assert fold(expr("2 + 3")) == A.Num(5)
+
+    def test_partial_fold(self):
+        assert fold(expr("i + (2 + 3)")) == A.BinOp("+", A.Var("i"), A.Num(5))
+
+    def test_identity_simplification(self):
+        assert fold(expr("i + 0")) == A.Var("i")
+        assert fold(expr("1 * i")) == A.Var("i")
+
+    def test_with_env(self):
+        assert fold(expr("n - 1"), {"n": 100}) == A.Num(99)
+
+
+class TestAffine:
+    def test_const(self):
+        assert affine_of(expr("7")) == Affine(None, 7)
+
+    def test_var(self):
+        assert affine_of(expr("i")) == Affine("i", 0)
+
+    def test_var_plus_const(self):
+        assert affine_of(expr("i + 5")) == Affine("i", 5)
+        assert affine_of(expr("i - 5")) == Affine("i", -5)
+        assert affine_of(expr("5 + i")) == Affine("i", 5)
+
+    def test_param_const(self):
+        assert affine_of(expr("n - 1"), {"n": 10}) == Affine(None, 9)
+
+    def test_nonaffine(self):
+        assert affine_of(expr("i * 2")) is None
+        assert affine_of(expr("i + j")) is None
+        assert affine_of(expr("x(i)")) is None
+
+
+class TestFreeVarsInvariance:
+    def test_free_vars(self):
+        assert free_vars(expr("x(i) + j * k")) == {"x", "i", "j", "k"}
+
+    def test_invariant(self):
+        assert is_invariant(expr("n + 1"), {"i", "j"})
+        assert not is_invariant(expr("i + 1"), {"i", "j"})
