@@ -73,6 +73,16 @@ class TestShape:
         _l3, _e3, _c3, s3 = ladder[DynOpt.HOIST]
         assert s.remap_bytes == s3.remap_bytes // 2
 
+    def test_remap_traffic_is_point_to_point(self, ladder):
+        """Remap exchanges are physically bundles of sends, so their
+        data motion shows up in the message/byte counts (and hence in
+        ``total_bytes``).  The Figure 15 program's only communication is
+        remapping, so the two byte counts coincide exactly."""
+        for _d, (_l, _e, _c, s) in ladder.items():
+            assert s.messages > 0
+            assert s.bytes == s.remap_bytes
+            assert s.total_bytes == s.bytes + s.collective_bytes
+
     def test_static_counts_reported(self, ladder):
         _l, _e, cp, _s = ladder[DynOpt.KILLS]
         assert cp.report.remaps_eliminated == 2

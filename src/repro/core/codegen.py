@@ -468,6 +468,8 @@ def rtr_rewrite_assign(
     def owner_of(ref: A.ArrayRef) -> A.Expr:
         return A.CallExpr("owner", (ref,))
 
+    from ..lang.printer import expr_str
+
     reads = [
         r for r in A.walk_exprs(s.expr)
         if isinstance(r, A.ArrayRef) and r.name in distributed
@@ -481,6 +483,14 @@ def rtr_rewrite_assign(
     lhs_distributed = (
         isinstance(s.target, A.ArrayRef) and s.target.name in distributed
     )
+    if lhs_distributed:
+        # a read of the very element being written is already local to
+        # the executing owner: its transfer guards (`I own the read and
+        # someone else owns the write`) can never hold, so emitting them
+        # would only burn one owner() evaluation per element per
+        # processor
+        lhs_text = expr_str(s.target)
+        reads = [r for r in reads if expr_str(r) != lhs_text]
     out: list[A.Stmt] = []
     if lhs_distributed:
         lhs_owner = owner_of(s.target)

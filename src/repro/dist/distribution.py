@@ -212,7 +212,11 @@ class Distribution:
 
     @property
     def is_replicated(self) -> bool:
-        return all(not d.distributed for d in self.dims)
+        cached = self.__dict__.get("_is_replicated")
+        if cached is None:
+            cached = all(not d.distributed for d in self.dims)
+            object.__setattr__(self, "_is_replicated", cached)
+        return cached
 
     def distributed_axes(self) -> list[int]:
         return [i for i, d in enumerate(self.dims) if d.distributed]
@@ -237,12 +241,38 @@ class Distribution:
         return r
 
     def owner(self, indices: Sequence[int]) -> int:
-        """Processor rank owning the element at global ``indices``."""
-        coords = []
-        for d, g in zip(self.dims, indices):
+        """Processor rank owning the element at global ``indices``.
+
+        Run-time resolution evaluates this once per element per
+        processor, so the index math is compiled to a closure on first
+        use and cached on the instance (the dataclass is frozen; the
+        cache never enters ``__eq__``/``__hash__``, which compare fields
+        only).
+        """
+        fn = self.__dict__.get("_owner_fn")
+        if fn is None:
+            fn = self._compile_owner()
+            object.__setattr__(self, "_owner_fn", fn)
+        return fn(indices)
+
+    def _compile_owner(self):
+        parts = []  # (axis, per-dim coordinate closure, grid extent)
+        for axis, d in enumerate(self.dims):
             if d.distributed:
-                coords.append(d.owner_coord(g))
-        return self.rank_of_coords(coords)
+                parts.append((axis, _coord_closure(d), d.nprocs))
+        if not parts:
+            return lambda indices: 0
+        if len(parts) == 1:
+            axis, coord, _ = parts[0]
+            return lambda indices: coord(indices[axis])
+
+        def owner(indices: Sequence[int]) -> int:
+            r = 0
+            for axis, coord, extent in parts:
+                r = r * extent + coord(indices[axis])
+            return r
+
+        return owner
 
     def owns(self, rank: int, indices: Sequence[int]) -> bool:
         if self.is_replicated:
@@ -320,6 +350,35 @@ class Distribution:
 
     def __str__(self) -> str:
         return self.describe()
+
+
+def _coord_closure(d: DimDistribution):
+    """Branch-free per-call coordinate function for one distributed dim
+    (same math and bounds errors as :meth:`DimDistribution.owner_coord`,
+    with the kind dispatch done once)."""
+    lo, hi, P, blk = d.lo, d.hi, d.nprocs, d.block
+    if d.kind == "block":
+        last = P - 1
+
+        def coord(g: int) -> int:
+            if g < lo or g > hi:
+                raise IndexError(f"index {g} outside [{lo}:{hi}]")
+            q = (g - lo) // blk
+            return q if q < last else last
+
+    elif d.kind == "cyclic":
+        def coord(g: int) -> int:
+            if g < lo or g > hi:
+                raise IndexError(f"index {g} outside [{lo}:{hi}]")
+            return (g - lo) % P
+
+    else:  # block_cyclic
+        def coord(g: int) -> int:
+            if g < lo or g > hi:
+                raise IndexError(f"index {g} outside [{lo}:{hi}]")
+            return ((g - lo) // blk) % P
+
+    return coord
 
 
 def factor_grid(nprocs: int, naxes: int) -> tuple[int, ...]:

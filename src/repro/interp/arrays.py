@@ -86,10 +86,21 @@ class FArray:
                 out.append(self._offset(axis, int(s)))
         return tuple(out)
 
-    def read_section(self, subs: Sequence[SubsValue]) -> np.ndarray:
-        """Copy of the section described by *subs* (ints or
-        ``(lo, hi, step)`` triples, inclusive global bounds)."""
-        return np.array(self.data[self._slices(subs)], copy=True)
+    def read_section(
+        self, subs: Sequence[SubsValue], copy: bool = True
+    ) -> np.ndarray:
+        """The section described by *subs* (ints or ``(lo, hi, step)``
+        triples, inclusive global bounds).
+
+        By default a contiguous copy — the safe payload for messages
+        whose consumption the sender cannot wait for.  ``copy=False``
+        returns a zero-copy view; callers must guarantee the array is
+        not mutated before every consumer has copied the data out (the
+        broadcast collective's ``consume`` rendezvous provides exactly
+        that guarantee).
+        """
+        view = self.data[self._slices(subs)]
+        return view.copy() if copy else view
 
     def write_section(self, subs: Sequence[SubsValue], payload) -> None:
         slices = self._slices(subs)

@@ -91,12 +91,16 @@ class Interpreter:
         initial_dists: Optional[dict[tuple[str, str], Distribution]] = None,
         init_fn: Callable[[str, tuple[int, ...]], float] = default_init,
         init_main_arrays: bool = True,
+        vectorize: Optional[bool] = None,
     ) -> None:
+        from .vectorize import enabled as _vec_enabled
+
         self.program = program
         self.ctx = ctx
         self.initial_dists = initial_dists or {}
         self.init_fn = init_fn
         self.init_main_arrays = init_main_arrays
+        self.vectorize = _vec_enabled(vectorize)
         self.prints: list[str] = []
         self._compiled: dict[str, list[StmtFn]] = {}
         self._param_env: dict[str, dict[str, float | int]] = {}
@@ -298,6 +302,9 @@ class Interpreter:
 
             return read_elem
         if isinstance(e, A.BinOp):
+            fused = self._fuse_owner_guard(e, unit)
+            if fused is not None:
+                return fused
             lf = self._compile_expr(e.left, unit)
             rf = self._compile_expr(e.right, unit)
             return _binop_fn(e.op, lf, rf)
@@ -314,6 +321,40 @@ class Interpreter:
             raise InterpError("triplet outside communication statement")
         raise InterpError(f"cannot compile expression {e!r}")
 
+    def _fuse_owner_guard(
+        self, e: A.BinOp, unit: A.Procedure
+    ) -> Optional[ExprFn]:
+        """Fused closures for the run-time-resolution guard shapes
+        ``v == owner(ref)`` / ``v /= owner(ref)`` and conjunctions of
+        two of them.  These conditions run once per array element per
+        processor, so collapsing the generic lambda tree to one closure
+        is a measurable win.  Purely an evaluation-speed specialization:
+        operation counts and results match the generic path exactly."""
+        if e.op == ".and.":
+            lf = self._fuse_owner_guard(e.left, unit) \
+                if isinstance(e.left, A.BinOp) else None
+            rf = self._fuse_owner_guard(e.right, unit) \
+                if isinstance(e.right, A.BinOp) else None
+            if lf is not None and rf is not None:
+                return lambda fr: lf(fr) and rf(fr)
+            return None
+        if e.op not in ("==", "/="):
+            return None
+        sides = (e.left, e.right)
+        call = next((x for x in sides if isinstance(x, A.CallExpr)
+                     and x.name == "owner"), None)
+        var = next((x for x in sides if isinstance(x, A.Var)), None)
+        if call is None or var is None:
+            return None
+        owner_fn = self._compile_call_expr(call, unit)
+        var_fn = self._compile_expr(var, unit)
+        want = e.op == "=="
+
+        def cmp_owner(fr: Frame) -> bool:
+            return (var_fn(fr) == owner_fn(fr)) == want
+
+        return cmp_owner
+
     def _compile_call_expr(self, e: A.CallExpr, unit: A.Procedure) -> ExprFn:
         name = e.name
         if name == "myproc":
@@ -325,13 +366,30 @@ class Interpreter:
             ref = e.args[0]
             sub_fns = [self._compile_expr(s, unit) for s in ref.subs]
             arr_name = ref.name
+            # run-time resolution evaluates owner() once per element per
+            # processor: specialize the common arities
+            if len(sub_fns) == 1:
+                s0 = sub_fns[0]
 
-            def owner_fn(fr: Frame):
-                arr = fr.arrays[arr_name]
-                if arr.dist is None or arr.dist.is_replicated:
-                    return 0
-                idx = [int(f(fr)) for f in sub_fns]
-                return arr.dist.owner(idx)
+                def owner_fn(fr: Frame):
+                    dist = fr.arrays[arr_name].dist
+                    if dist is None or dist.is_replicated:
+                        return 0
+                    return dist.owner((int(s0(fr)),))
+            elif len(sub_fns) == 2:
+                s0, s1 = sub_fns
+
+                def owner_fn(fr: Frame):
+                    dist = fr.arrays[arr_name].dist
+                    if dist is None or dist.is_replicated:
+                        return 0
+                    return dist.owner((int(s0(fr)), int(s1(fr))))
+            else:
+                def owner_fn(fr: Frame):
+                    dist = fr.arrays[arr_name].dist
+                    if dist is None or dist.is_replicated:
+                        return 0
+                    return dist.owner([int(f(fr)) for f in sub_fns])
 
             return owner_fn
         if name in PURE_INTRINSICS:
@@ -414,12 +472,22 @@ class Interpreter:
             then_code = self._compile_block(s.then_body, unit)
             else_code = self._compile_block(s.else_body, unit)
 
-            def run_if(fr: Frame):
-                if ctx is not None:
-                    ctx.guard_tick(cond_ops)
-                branch = then_code if cond_fn(fr) else else_code
-                for fn in branch:
-                    fn(fr)
+            if ctx is None:
+                def run_if(fr: Frame):
+                    branch = then_code if cond_fn(fr) else else_code
+                    for fn in branch:
+                        fn(fr)
+            else:
+                # run-time resolution executes one guard per element:
+                # bind the tick method once instead of testing ctx and
+                # resolving the attribute on every evaluation
+                guard_tick = ctx.guard_tick
+
+                def run_if(fr: Frame):
+                    guard_tick(cond_ops)
+                    branch = then_code if cond_fn(fr) else else_code
+                    for fn in branch:
+                        fn(fr)
 
             return run_if
         if isinstance(s, A.Do):
@@ -428,6 +496,10 @@ class Interpreter:
             hi_fn = self._compile_expr(s.hi, unit)
             st_fn = self._compile_expr(s.step, unit)
             body_code = self._compile_block(s.body, unit)
+
+            # bind the tick method once per compiled loop rather than
+            # testing ctx and resolving the attribute every iteration
+            loop_tick = None if ctx is None else ctx.loop_tick
 
             def run_do(fr: Frame):
                 lo = int(lo_fn(fr))
@@ -440,21 +512,27 @@ class Interpreter:
                 if st > 0:
                     while i <= hi:
                         scal[var] = i
-                        if ctx is not None:
-                            ctx.loop_tick()
+                        if loop_tick is not None:
+                            loop_tick()
                         for fn in body_code:
                             fn(fr)
                         i += st
                 else:
                     while i >= hi:
                         scal[var] = i
-                        if ctx is not None:
-                            ctx.loop_tick()
+                        if loop_tick is not None:
+                            loop_tick()
                         for fn in body_code:
                             fn(fr)
                         i += st
                 scal[var] = i
 
+            if self.vectorize:
+                from .vectorize import try_vectorize
+
+                vec = try_vectorize(s, unit, self, run_do)
+                if vec is not None:
+                    return vec
             return run_do
         if isinstance(s, A.DoWhile):
             cond_fn = self._compile_expr(s.cond, unit)
@@ -611,11 +689,19 @@ class Interpreter:
             subs = self._resolve_whole_dims(arr, section_fn(fr))
             root = int(root_fn(fr))
             me = self.ctx.rank
-            payload = arr.read_section(subs) if me == root else None
             nbytes = arr.section_bytes(subs)
-            data = self.ctx.broadcast(root, payload, nbytes)
-            if me != root:
-                arr.write_section(subs, data)
+            if me == root:
+                # zero-copy: the collective's consume rendezvous keeps
+                # every consumer's copy ahead of any mutation of the
+                # source, so the root can pass a view of its own array
+                self.ctx.broadcast(
+                    root, arr.read_section(subs, copy=False), nbytes
+                )
+            else:
+                self.ctx.broadcast(
+                    root, None, nbytes,
+                    consume=lambda data: arr.write_section(subs, data),
+                )
 
         return run_bcast
 
@@ -726,9 +812,12 @@ def _binop_fn(op: str, lf: ExprFn, rf: ExprFn) -> ExprFn:
 def run_sequential(
     program: A.Program,
     init_fn: Callable[[str, tuple[int, ...]], float] = default_init,
+    vectorize: Optional[bool] = None,
 ) -> Frame:
     """Reference execution of the original (pre-compilation) program."""
-    return Interpreter(program, ctx=None, init_fn=init_fn).run()
+    return Interpreter(
+        program, ctx=None, init_fn=init_fn, vectorize=vectorize
+    ).run()
 
 
 class SPMDResult:
@@ -770,6 +859,7 @@ def run_spmd(
     initial_dists: Optional[dict[tuple[str, str], Distribution]] = None,
     init_fn: Callable[[str, tuple[int, ...]], float] = default_init,
     timeout_s: float = 120.0,
+    vectorize: Optional[bool] = None,
 ) -> SPMDResult:
     """Run a compiled SPMD node program on the simulated machine."""
     machine = Machine(nprocs, cost, timeout_s)
@@ -777,7 +867,8 @@ def run_spmd(
 
     def node(ctx: ProcContext) -> Frame:
         interp = Interpreter(
-            program, ctx=ctx, initial_dists=initial_dists, init_fn=init_fn
+            program, ctx=ctx, initial_dists=initial_dists, init_fn=init_fn,
+            vectorize=vectorize,
         )
         frame = interp.run()
         prints.extend(interp.prints)

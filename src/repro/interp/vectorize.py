@@ -1,0 +1,430 @@
+"""Vectorized block execution of compiled loop nests (the fast path).
+
+The closure interpreter dispatches one Python closure per array element,
+which bounds how large a problem the simulator can afford.  This module
+recognizes innermost ``DO`` loops whose bodies are straight-line affine
+array assignments and compiles them to whole-section numpy expressions:
+one slice assignment per statement per block instead of one closure call
+per element.
+
+Legality (checked at closure-compile time, with residual conditions
+checked per block at run time; any failure falls back to the scalar
+closure path for that block):
+
+* the body is a non-empty sequence of ``Assign`` statements to array
+  elements — no calls, no communication, no control flow, no scalar
+  assignments;
+* every subscript is ``c``, ``i``, ``i ± c`` or a loop-invariant
+  expression, where ``i`` is the loop variable and ``c`` is loop
+  invariant; the loop variable appears in exactly one subscript
+  position of each reference that uses it;
+* right-hand sides use only literals, loop-invariant scalars, the loop
+  variable, array references as above, ``+ - * / **`` and unary minus,
+  and elementwise-safe intrinsics (``f g abs sqrt min max``) — any
+  loop-invariant subexpression without user-function calls is permitted
+  wholesale (it is evaluated once per block);
+* for every array *written* in the block, all writes share one loop
+  axis and (checked at run time) one offset ``w``; every read of that
+  array carrying the loop variable sits on the same axis with offset
+  ``r == w``, and every loop-invariant read of it indexes outside the
+  written range.  Under these rules each iteration touches a distinct
+  element and statement order is preserved elementwise, so block
+  execution is observationally identical to the sequential loop.
+
+Accounting: the block charges ``loop_tick(n)`` and ``compute(n * ops)``
+with the *exact* per-iteration operation counts of the scalar path.
+:class:`~repro.machine.machine.ProcContext` batches charges as integer
+counters and converts them to virtual time only at observation points,
+so clocks, per-processor work, and guard counts are bit-identical
+between the scalar and vectorized paths.
+
+``REPRO_VECTORIZE=0`` in the environment forces the scalar path
+everywhere (every result stays cross-checkable); the ``vectorize``
+keyword of the run helpers overrides the environment per run.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..lang import ast as A
+from ..runtime.intrinsics import PURE_INTRINSICS, f_func, g_func
+
+#: below this trip count the closure path is cheaper than slice setup
+MIN_BLOCK = 4
+
+
+def enabled(override: Optional[bool] = None) -> bool:
+    """The effective vectorization switch: explicit *override* if given,
+    else the ``REPRO_VECTORIZE`` environment flag (default on)."""
+    if override is not None:
+        return bool(override)
+    return os.environ.get("REPRO_VECTORIZE", "1").lower() not in (
+        "0", "false", "no", "off"
+    )
+
+
+class _Reject(Exception):
+    """Internal: the loop is not vectorizable."""
+
+
+class _Block:
+    """One runtime instance of a vectorized loop: bounds, trip count,
+    and the lazily built index vector."""
+
+    __slots__ = ("lo", "st", "n", "_iota")
+
+    def __init__(self, lo: int, st: int, n: int) -> None:
+        self.lo = lo
+        self.st = st
+        self.n = n
+        self._iota = None
+
+    def iota(self) -> np.ndarray:
+        if self._iota is None:
+            self._iota = np.arange(
+                self.lo, self.lo + self.n * self.st, self.st
+            )
+        return self._iota
+
+
+def _mentions(e: A.Expr, v: str) -> bool:
+    return any(
+        isinstance(x, A.Var) and x.name == v for x in A.walk_exprs(e)
+    )
+
+
+def _is_int(x) -> bool:
+    if isinstance(x, np.ndarray):
+        return x.dtype.kind in "iu"
+    return isinstance(x, (int, np.integer)) and not isinstance(x, bool)
+
+
+def _fortran_div(a, b):
+    """Elementwise mirror of the scalar interpreter's ``/``: Fortran
+    truncating division when both operands are integral, IEEE division
+    otherwise."""
+    if _is_int(a) and _is_int(b):
+        q = np.abs(a) // np.abs(b)
+        return np.where((a >= 0) == (b >= 0), q, -q)
+    return a / b
+
+
+def _fold_minimum(args):
+    out = args[0]
+    for a in args[1:]:
+        out = np.minimum(out, a)
+    return out
+
+
+def _fold_maximum(args):
+    out = args[0]
+    for a in args[1:]:
+        out = np.maximum(out, a)
+    return out
+
+
+#: intrinsics whose numpy application is bit-identical to the scalar
+#: interpreter's per-element application (``exp`` is excluded: numpy's
+#: SIMD exp is not guaranteed identical to libm's)
+_VEC_INTRINSICS: dict[str, Callable] = {
+    "f": lambda args: f_func(args[0]),
+    "g": lambda args: g_func(args[0]),
+    "abs": lambda args: np.abs(args[0]),
+    "sqrt": lambda args: np.sqrt(args[0]),
+    "min": _fold_minimum,
+    "max": _fold_maximum,
+}
+
+#: calls that are pure and cost-free in the scalar path, hence safe
+#: inside once-per-block invariant subexpressions
+_INVARIANT_OK_CALLS = set(PURE_INTRINSICS) | {"myproc", "owner"}
+
+
+class _Plan:
+    """Compile-time analysis and code generation for one DO loop."""
+
+    def __init__(self, do: A.Do, unit, interp) -> None:
+        self.do = do
+        self.unit = unit
+        self.interp = interp
+        self.v = do.var
+        # legality bookkeeping
+        self.writes: dict[str, tuple[int, list]] = {}  # name -> (axis, [off_fn])
+        self.v_reads: list[tuple[str, int, Callable]] = []
+        self.inv_reads: list[tuple[str, list[A.Expr]]] = []
+        self.execs: list[Callable] = []
+        self.ops_per_iter = 0
+
+        from .interpreter import _count_ops
+
+        for s in do.body:
+            if not (isinstance(s, A.Assign)
+                    and isinstance(s.target, A.ArrayRef)):
+                raise _Reject
+            target = self._compile_target(s.target)
+            rhs = self._compile_expr(s.expr)
+            self.execs.append(self._make_exec(target, rhs))
+            self.ops_per_iter += (
+                _count_ops(s.expr) + 1 + len(s.target.subs)
+            )
+        self._finalize_legality()
+
+    # -- subscript helpers -------------------------------------------------
+
+    def _invariant_fn(self, e: A.Expr) -> Callable:
+        return self.interp._compile_expr(e, self.unit)
+
+    def _checked_invariant(self, e: A.Expr) -> Callable:
+        """Compile a loop-invariant expression that the block evaluates
+        once (the scalar path evaluates it per iteration, but invariance
+        makes the values equal).  User-function calls are rejected —
+        they carry per-call cost accounting and may have effects — and
+        array reads inside it are recorded so the runtime disjointness
+        check sees them."""
+        for sub in A.walk_exprs(e):
+            if isinstance(sub, A.CallExpr) \
+                    and sub.name not in _INVARIANT_OK_CALLS:
+                raise _Reject
+            if isinstance(sub, A.Triplet):
+                raise _Reject
+            if isinstance(sub, A.ArrayRef):
+                self.inv_reads.append((sub.name, list(sub.subs)))
+        return self._invariant_fn(e)
+
+    def _axis_offset(self, e: A.Expr) -> Callable:
+        """Offset function for a subscript of the form ``i``/``i±c``/
+        ``c+i`` (``c`` loop invariant)."""
+        v = self.v
+        if isinstance(e, A.Var) and e.name == v:
+            return lambda fr: 0
+        if isinstance(e, A.BinOp) and e.op in ("+", "-"):
+            left_v = isinstance(e.left, A.Var) and e.left.name == v
+            right_v = isinstance(e.right, A.Var) and e.right.name == v
+            if left_v and not _mentions(e.right, v):
+                off = self._checked_invariant(e.right)
+                if e.op == "+":
+                    return lambda fr: int(off(fr))
+                return lambda fr: -int(off(fr))
+            if e.op == "+" and right_v and not _mentions(e.left, v):
+                off = self._checked_invariant(e.left)
+                return lambda fr: int(off(fr))
+        raise _Reject
+
+    def _classify_ref(self, ref: A.ArrayRef):
+        """Split a reference's subscripts into the loop axis (at most
+        one, affine in the loop variable) and invariant index fns."""
+        axis = None
+        off_fn = None
+        sub_items: list[Optional[Callable]] = []
+        for pos, s in enumerate(ref.subs):
+            if isinstance(s, A.Triplet):
+                raise _Reject
+            if _mentions(s, self.v):
+                if axis is not None:
+                    raise _Reject
+                axis = pos
+                off_fn = self._axis_offset(s)
+                sub_items.append(None)
+            else:
+                sub_items.append(self._checked_invariant(s))
+        return axis, off_fn, sub_items
+
+    def _compile_target(self, t: A.ArrayRef):
+        axis, off_fn, sub_items = self._classify_ref(t)
+        if axis is None:
+            raise _Reject  # loop-invariant write: a cross-iteration race
+        prev = self.writes.get(t.name)
+        if prev is None:
+            self.writes[t.name] = (axis, [off_fn])
+        else:
+            if prev[0] != axis:
+                raise _Reject
+            prev[1].append(off_fn)
+        return t.name, axis, off_fn, sub_items
+
+    # -- expression compilation --------------------------------------------
+
+    def _compile_expr(self, e: A.Expr) -> Callable:
+        """Compile *e* to ``fn(frame, block) -> scalar | ndarray`` with
+        values bit-identical to the scalar path's per-element results."""
+        if not _mentions(e, self.v):
+            return self._compile_invariant(e)
+        if isinstance(e, A.Var):  # the loop variable itself
+            return lambda fr, blk: blk.iota()
+        if isinstance(e, A.ArrayRef):
+            return self._compile_read(e)
+        if isinstance(e, A.BinOp):
+            lf = self._compile_expr(e.left)
+            rf = self._compile_expr(e.right)
+            op = e.op
+            if op == "+":
+                return lambda fr, blk: lf(fr, blk) + rf(fr, blk)
+            if op == "-":
+                return lambda fr, blk: lf(fr, blk) - rf(fr, blk)
+            if op == "*":
+                return lambda fr, blk: lf(fr, blk) * rf(fr, blk)
+            if op == "/":
+                return lambda fr, blk: _fortran_div(lf(fr, blk), rf(fr, blk))
+            if op == "**":
+                return lambda fr, blk: lf(fr, blk) ** rf(fr, blk)
+            raise _Reject  # comparisons / logicals: not in affine assigns
+        if isinstance(e, A.UnOp) and e.op == "-":
+            of = self._compile_expr(e.operand)
+            return lambda fr, blk: -of(fr, blk)
+        if isinstance(e, A.CallExpr):
+            impl = _VEC_INTRINSICS.get(e.name)
+            if impl is None:
+                raise _Reject  # user functions: per-call cost + effects
+            arg_fns = [self._compile_expr(a) for a in e.args]
+            return lambda fr, blk: impl([f(fr, blk) for f in arg_fns])
+        raise _Reject
+
+    def _compile_invariant(self, e: A.Expr) -> Callable:
+        """A loop-invariant subexpression: evaluated once per block via
+        the scalar expression compiler."""
+        fn = self._checked_invariant(e)
+        return lambda fr, blk: fn(fr)
+
+    def _compile_read(self, ref: A.ArrayRef) -> Callable:
+        axis, off_fn, sub_items = self._classify_ref(ref)
+        # axis is not None here: _mentions(ref, v) held and all subs of
+        # an invariant ref would have been taken by _compile_invariant
+        name = ref.name
+        self.v_reads.append((name, axis, off_fn))
+
+        def read(fr, blk):
+            arr = fr.arrays[name]
+            sl = _block_slices(arr, blk, axis, int(off_fn(fr)),
+                               sub_items, fr)
+            return arr.data[sl]
+
+        return read
+
+    def _make_exec(self, target, rhs_fn) -> Callable:
+        name, axis, off_fn, sub_items = target
+
+        def exec_stmt(fr, blk):
+            arr = fr.arrays[name]
+            sl = _block_slices(arr, blk, axis, int(off_fn(fr)),
+                               sub_items, fr)
+            arr.data[sl] = rhs_fn(fr, blk)
+
+        return exec_stmt
+
+    # -- legality -----------------------------------------------------------
+
+    def _finalize_legality(self) -> None:
+        # reads carrying the loop variable must sit on the write axis of
+        # any array the block writes (offset equality checked per block)
+        self._checked_v_reads = []
+        for name, axis, off_fn in self.v_reads:
+            w = self.writes.get(name)
+            if w is None:
+                continue
+            if axis != w[0]:
+                raise _Reject
+            self._checked_v_reads.append((name, off_fn))
+        # invariant reads of written arrays need their index on the
+        # write axis for the runtime range check
+        self._checked_inv_reads = []
+        for name, subs in self.inv_reads:
+            w = self.writes.get(name)
+            if w is None:
+                continue
+            axis = w[0]
+            if axis >= len(subs):
+                raise _Reject
+            self._checked_inv_reads.append(
+                (name, self._invariant_fn(subs[axis]))
+            )
+
+    def runtime_ok(self, fr, lo: int, st: int, n: int) -> bool:
+        """Per-block residual legality: common write offsets, read
+        offsets equal to write offsets, invariant reads outside the
+        written index range."""
+        woff = {}
+        for name, (axis, off_fns) in self.writes.items():
+            w = int(off_fns[0](fr))
+            for f in off_fns[1:]:
+                if int(f(fr)) != w:
+                    return False
+            woff[name] = w
+        for name, off_fn in self._checked_v_reads:
+            if int(off_fn(fr)) != woff[name]:
+                return False
+        for name, idx_fn in self._checked_inv_reads:
+            first = lo + woff[name]
+            last = first + (n - 1) * st
+            w_lo, w_hi = (first, last) if st > 0 else (last, first)
+            if w_lo <= int(idx_fn(fr)) <= w_hi:
+                return False
+        return True
+
+
+def _block_slices(arr, blk: _Block, axis: int, off: int,
+                  sub_items, fr) -> tuple:
+    """Global-index block section -> numpy index tuple (bounds-checked
+    at the block endpoints, like the scalar path checks each element)."""
+    out = []
+    for pos, item in enumerate(sub_items):
+        if pos == axis:
+            first = blk.lo + off
+            last = first + (blk.n - 1) * blk.st
+            o_first = arr._offset(pos, first)
+            o_last = arr._offset(pos, last)
+            stop = o_last + (1 if blk.st > 0 else -1)
+            out.append(slice(o_first, stop if stop >= 0 else None, blk.st))
+        else:
+            out.append(arr._offset(pos, int(item(fr))))
+    return tuple(out)
+
+
+def try_vectorize(do: A.Do, unit, interp, scalar_fallback) -> Optional[Callable]:
+    """Attempt to compile *do* to a vectorized block executor.  Returns
+    a statement function or ``None`` when the loop is not vectorizable;
+    the returned function itself falls back to *scalar_fallback* for
+    blocks that fail the residual runtime checks or are too small to
+    win."""
+    if not do.body:
+        return None
+    try:
+        plan = _Plan(do, unit, interp)
+    except _Reject:
+        return None
+
+    from .interpreter import InterpError
+
+    ctx = interp.ctx
+    var = do.var
+    lo_fn = interp._compile_expr(do.lo, unit)
+    hi_fn = interp._compile_expr(do.hi, unit)
+    st_fn = interp._compile_expr(do.step, unit)
+    ops_per_iter = plan.ops_per_iter
+    unit_name = unit.name
+
+    def run_do_vec(fr):
+        lo = int(lo_fn(fr))
+        hi = int(hi_fn(fr))
+        st = int(st_fn(fr))
+        if st == 0:
+            raise InterpError(f"{unit_name}: zero DO step")
+        n = (hi - lo) // st + 1
+        if n <= 0:
+            fr.scalars[var] = lo
+            return
+        if n < MIN_BLOCK or not plan.runtime_ok(fr, lo, st, n):
+            scalar_fallback(fr)
+            return
+        blk = _Block(lo, st, n)
+        for exec_stmt in plan.execs:
+            exec_stmt(fr, blk)
+        if ctx is not None:
+            ctx.loop_tick(n)
+            ctx.compute(n * ops_per_iter)
+        fr.scalars[var] = lo + n * st
+
+    return run_do_vec

@@ -36,7 +36,16 @@ class _Message:
 
 
 class Network:
-    """The interconnect shared by all node processors."""
+    """The interconnect shared by all node processors.
+
+    Each destination keeps its in-flight messages in a dict keyed on
+    ``(src, tag)`` with a FIFO deque per key, so a matched receive is an
+    O(1) dict probe instead of a linear scan of everything queued.  A
+    blocked receiver advertises the key it waits for; senders only
+    notify when they deliver that exact key, so heavy cross-traffic (the
+    run-time-resolution element messages) no longer wakes every blocked
+    receiver once per unrelated message.
+    """
 
     def __init__(
         self,
@@ -49,8 +58,11 @@ class Network:
         self.cost = cost
         self.stats = stats
         self.timeout_s = timeout_s
-        self._queues: list[deque[_Message]] = [deque() for _ in range(nprocs)]
+        self._queues: list[dict[tuple[int, int], deque[_Message]]] = [
+            {} for _ in range(nprocs)
+        ]
         self._conds = [threading.Condition() for _ in range(nprocs)]
+        self._waiting: list[tuple[int, int] | None] = [None] * nprocs
         self._failed = threading.Event()
 
     def fail(self) -> None:
@@ -72,10 +84,15 @@ class Network:
         sender_after = now + self.cost.send_cost(nbytes)
         msg = _Message(src, tag, payload, nbytes,
                        now + self.cost.transfer_time(nbytes))
+        key = (src, tag)
         cond = self._conds[dst]
         with cond:
-            self._queues[dst].append(msg)
-            cond.notify_all()
+            q = self._queues[dst].get(key)
+            if q is None:
+                q = self._queues[dst][key] = deque()
+            q.append(msg)
+            if self._waiting[dst] == key:
+                cond.notify_all()
         self.stats.record_message(nbytes)
         return sender_after
 
@@ -83,21 +100,29 @@ class Network:
         """Blocking matched receive; returns (payload, new clock)."""
         if not (0 <= src < self.nprocs):
             raise SimulationError(f"recv from invalid processor {src}")
+        key = (src, tag)
         cond = self._conds[dst]
         with cond:
+            queues = self._queues[dst]
             while True:
-                q = self._queues[dst]
-                for i, m in enumerate(q):
-                    if m.src == src and m.tag == tag:
-                        del q[i]
-                        arrive = max(now, m.available_at)
-                        return m.payload, arrive + self.cost.recv_cost(m.nbytes)
+                q = queues.get(key)
+                if q:
+                    m = q.popleft()
+                    if not q:
+                        del queues[key]
+                    arrive = max(now, m.available_at)
+                    return m.payload, arrive + self.cost.recv_cost(m.nbytes)
                 if self._failed.is_set():
                     raise SimulationError(
                         f"processor {dst} aborted while waiting for "
                         f"(src={src}, tag={tag})"
                     )
-                if not cond.wait(timeout=self.timeout_s):
+                self._waiting[dst] = key
+                try:
+                    arrived = cond.wait(timeout=self.timeout_s)
+                finally:
+                    self._waiting[dst] = None
+                if not arrived:
                     self.fail()
                     raise SimulationError(
                         f"deadlock: processor {dst} waited for message "
@@ -106,7 +131,7 @@ class Network:
 
     def pending(self, dst: int) -> int:
         with self._conds[dst]:
-            return len(self._queues[dst])
+            return sum(len(q) for q in self._queues[dst].values())
 
 
 class CollectiveContext:
@@ -138,8 +163,15 @@ class CollectiveContext:
             ) from e
 
     def broadcast(self, rank: int, root: int, payload: Any, nbytes: int,
-                  now: float) -> tuple[Any, float]:
-        """All nodes call; returns (payload, new clock)."""
+                  now: float, consume: Any = None) -> tuple[Any, float]:
+        """All nodes call; returns (payload, new clock).
+
+        When *consume* is given (a callable taking the broadcast data)
+        it runs *before* the final rendezvous, so the root may pass a
+        zero-copy view of its own array as *payload*: every consumer has
+        copied the data out before any participant — the root included —
+        can run on and mutate the source.
+        """
         self._clocks[rank] = now
         if rank == root:
             with self._lock:
@@ -147,6 +179,8 @@ class CollectiveContext:
         self._sync()
         data = self._slots["bcast"]
         t = max(self._clocks) + self.cost.collective_cost(self.nprocs, nbytes)
+        if consume is not None:
+            consume(data)
         self._sync()
         if rank == root:
             self.stats.record_collective(nbytes)
@@ -157,12 +191,18 @@ class CollectiveContext:
 
     def allreduce(self, rank: int, value: Any, op: str, nbytes: int,
                   now: float) -> tuple[Any, float]:
-        """Combining all-reduce; op in {"sum", "max", "min", "maxloc"}."""
+        """Combining all-reduce; op in {"sum", "max", "min", "maxloc"}.
+
+        Contributions combine in rank order — NOT thread arrival order —
+        so floating-point reductions are deterministic and repeated runs
+        (scalar or vectorized execution alike) agree bit-for-bit.
+        """
         self._clocks[rank] = now
         with self._lock:
-            self._slots.setdefault("reduce", []).append(value)
+            self._slots.setdefault("reduce", {})[rank] = value
         self._sync()
-        values = self._slots["reduce"]
+        table = self._slots["reduce"]
+        values = [table[r] for r in range(self.nprocs)]
         if op == "sum":
             result = sum(values)
         elif op == "max":
@@ -196,25 +236,32 @@ class CollectiveContext:
     def exchange(self, rank: int, outgoing: dict[int, Any], nbytes_out: int,
                  now: float) -> tuple[dict[int, Any], float]:
         """All-to-all personalized exchange (used by the remap runtime):
-        each node contributes {dst: payload}; receives {src: payload}."""
+        each node contributes {dst: payload}; receives {src: payload}.
+
+        The pairwise transfers are real traffic: rank 0 records them
+        once into the point-to-point message/byte counts (one message
+        per (src, dst) pair with a payload, all contributed bytes).
+        """
         self._clocks[rank] = now
         with self._lock:
             table = self._slots.setdefault("exchange", {})
-            table[rank] = outgoing
+            table[rank] = (outgoing, nbytes_out)
         self._sync()
         table = self._slots["exchange"]
         incoming = {
             src: msgs[rank]
-            for src, msgs in table.items()
+            for src, (msgs, _nb) in table.items()
             if rank in msgs
         }
-        nmsgs = sum(1 for msgs in table.values() for d in msgs)
-        total_bytes = nbytes_out  # per-proc accounting below
         t = max(self._clocks) + self.cost.collective_cost(
-            self.nprocs, max(total_bytes, 1)
+            self.nprocs, max(nbytes_out, 1)
         )
         self._sync()
         if rank == 0:
+            nmsgs = sum(len(msgs) for msgs, _nb in table.values())
+            nbytes = sum(nb for _msgs, nb in table.values())
+            if nmsgs:
+                self.stats.record_exchange(nmsgs, nbytes)
             with self._lock:
                 self._slots.pop("exchange", None)
         self._sync()

@@ -51,6 +51,16 @@ class RunStats:
             self.remaps += 1
             self.remap_bytes += nbytes
 
+    def record_exchange(self, nmsgs: int, nbytes: int) -> None:
+        """All-to-all personalized exchange traffic (the remap runtime):
+        *nmsgs* pairwise transfers carrying *nbytes* total payload.  They
+        count as point-to-point traffic — a remap is physically a bundle
+        of sends — so remap data motion is visible in ``messages`` and
+        ``bytes`` like every other transfer."""
+        with self._lock:
+            self.messages += nmsgs
+            self.bytes += nbytes
+
     def record_flops(self, n: float) -> None:
         with self._lock:
             self.flops += n
@@ -97,7 +107,10 @@ class RunStats:
 
     @property
     def total_bytes(self) -> int:
-        return self.bytes + self.collective_bytes + self.remap_bytes
+        """All payload bytes moved.  Remap traffic is already part of
+        ``bytes`` (the exchange records it as point-to-point transfers);
+        ``remap_bytes`` remains the per-category breakdown."""
+        return self.bytes + self.collective_bytes
 
     def summary(self) -> str:
         return (

@@ -66,6 +66,42 @@ class TestPointToPoint:
         with pytest.raises(SimulationError, match="deadlock|aborted"):
             Machine(2, FREE, timeout_s=0.5).run(prog)
 
+    def test_out_of_order_tags_from_multiple_sources(self):
+        """Keyed queues: a receiver drains tags in any order it likes,
+        from interleaved sources, without losing or reordering messages
+        within one (src, tag) stream."""
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                for tag in range(9, -1, -1):  # descending send order
+                    ctx.send(2, tag, ("a", tag), 8)
+            elif ctx.rank == 1:
+                for tag in range(10):  # ascending send order
+                    ctx.send(2, tag, ("b", tag), 8)
+            else:
+                got = []
+                for tag in range(10):  # ascending receive order
+                    got.append(ctx.recv(0, tag))
+                    got.append(ctx.recv(1, 9 - tag))
+                return got
+
+        res = Machine(3, FREE).run(prog)
+        expect = [x for t in range(10) for x in (("a", t), ("b", 9 - t))]
+        assert res[2] == expect
+
+    def test_deadlock_despite_pending_unrelated_message(self):
+        """The deadlock timeout still fires when traffic is queued but
+        none of it matches the awaited (src, tag)."""
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                ctx.send(1, 7, "other", 8)
+            else:
+                ctx.recv(0, 8)  # tag 8 never sent
+
+        with pytest.raises(SimulationError, match="deadlock|aborted"):
+            Machine(2, FREE, timeout_s=0.5).run(prog)
+
 
 class TestVirtualTime:
     def test_transfer_latency_dominates_receiver_clock(self):
@@ -191,6 +227,21 @@ class TestCollectives:
         res = Machine(3, FREE).run(prog)
         assert res[0] == ["1->0", "2->0"]
         assert res[2] == ["0->2", "1->2"]
+
+    def test_exchange_records_point_to_point_traffic(self):
+        """A remap exchange is physically a bundle of sends: its traffic
+        must land in the point-to-point message/byte counts."""
+
+        def prog(ctx):
+            out = {dst: b"x" * 8
+                   for dst in range(ctx.nprocs) if dst != ctx.rank}
+            ctx.exchange(out, 8 * len(out))
+
+        m = Machine(3, FREE)
+        m.run(prog)
+        assert m.stats.messages == 6       # 3 ranks x 2 destinations
+        assert m.stats.bytes == 3 * 16     # each rank contributed 16 B
+        assert m.stats.total_bytes == m.stats.bytes
 
 
 class TestErrors:
