@@ -25,7 +25,7 @@ from .core.localize import localized_procedure_text
 from .dist import Distribution
 from .interp import run_sequential
 from .lang import parse
-from .machine import FAST_NETWORK, FREE, IPSC860
+from .machine import FAST_NETWORK, FREE, IPSC860, FaultPlan, SimulationError
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -50,6 +50,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--run", action="store_true",
                    help="execute the node program on the simulated "
                         "machine and print statistics")
+    p.add_argument("--faults", metavar="SPEC",
+                   help="with --run: inject deterministic faults, e.g. "
+                        "'delay=0.5:80,drop=0.1,slow=1:2.0,crash=2@5000' "
+                        "(also via REPRO_FAULTS)")
+    p.add_argument("--fault-seed", type=int, default=0,
+                   help="seed for the fault plan (default 0; also via "
+                        "REPRO_FAULT_SEED)")
+    p.add_argument("--timeout", type=float, default=None, metavar="S",
+                   help="wall-clock safety-net timeout in seconds "
+                        "(default REPRO_SIM_TIMEOUT or 60; deadlocks "
+                        "are detected instantly regardless)")
+    p.add_argument("--strict", action="store_true",
+                   help="fail compilation on unanalyzable procedures "
+                        "instead of demoting them to run-time "
+                        "resolution")
     p.add_argument("--gather", metavar="ARRAY",
                    help="with --run: print the gathered global array")
     p.add_argument("--verify", action="store_true",
@@ -97,6 +112,7 @@ def main(argv: list[str] | None = None) -> int:
         nprocs=args.nprocs,
         mode=Mode(args.mode),
         dynopt=DynOpt(args.dynopt),
+        strict=args.strict,
     )
     try:
         cp = compile_program(source, opts)
@@ -119,6 +135,8 @@ def main(argv: list[str] | None = None) -> int:
             print(f"! comm {line}")
         for line in r.rtr_fallbacks:
             print(f"! rtr-fallback {line}")
+        for line in r.rtr_demotions:
+            print(f"! rtr-demotion {line}")
         if r.remaps_emitted or r.remaps_eliminated or r.remaps_marked:
             print(f"! remaps emitted={r.remaps_emitted} "
                   f"eliminated={r.remaps_eliminated} "
@@ -152,7 +170,19 @@ def main(argv: list[str] | None = None) -> int:
         print(localized_procedure_text(proc, dists, overlaps))
 
     if args.run:
-        res = cp.run(cost=COSTS[args.cost])
+        faults = None
+        if args.faults:
+            try:
+                faults = FaultPlan.parse(args.faults, args.fault_seed)
+            except ValueError as e:
+                print(f"fdc: {e}", file=sys.stderr)
+                return 2
+        try:
+            res = cp.run(cost=COSTS[args.cost], faults=faults,
+                         timeout_s=args.timeout)
+        except SimulationError as e:
+            print(f"fdc: simulation failed: {e}", file=sys.stderr)
+            return 1
         print(f"! {res.stats.summary()}")
         for line in res.prints:
             print(line)

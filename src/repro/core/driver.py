@@ -64,10 +64,15 @@ class CompiledProgram:
     def run(
         self,
         cost: CostModel = IPSC860,
-        timeout_s: float = 120.0,
+        timeout_s: Optional[float] = None,
         init_fn=None,
         vectorize: Optional[bool] = None,
+        faults=None,
     ) -> SPMDResult:
+        """Execute on the simulated machine.  *timeout_s* defaults to
+        ``REPRO_SIM_TIMEOUT`` (else 60 s); *faults* is an optional
+        :class:`~repro.machine.faults.FaultPlan` (``REPRO_FAULTS`` when
+        None)."""
         from ..interp.interpreter import default_init
 
         return run_spmd(
@@ -78,6 +83,7 @@ class CompiledProgram:
             init_fn=init_fn or default_init,
             timeout_s=timeout_s,
             vectorize=vectorize,
+            faults=faults,
         )
 
     def text(self) -> str:
@@ -125,6 +131,11 @@ class CompiledProgram:
             lines.append("run-time resolution fallbacks:")
             for f in r.rtr_fallbacks:
                 lines.append(f"  {f}")
+        if r.rtr_demotions:
+            lines.append("")
+            lines.append("procedures demoted to run-time resolution:")
+            for d in r.rtr_demotions:
+                lines.append(f"  {d}")
         return "\n".join(lines)
 
 
@@ -675,9 +686,48 @@ def _compile_uncached(
             prog.unit(name), acg, reaching, opts, exports, report, tags,
             is_main=(name == main_name),
         )
-        exports[name] = pc.compile()
+        if opts.strict:
+            exports[name] = pc.compile()
+            continue
+        try:
+            exports[name] = pc.compile()
+        except (CompileError, UnsupportedSubscript) as e:
+            # Graceful degradation (§1, §4): instead of aborting on an
+            # unanalyzable construct, demote this one procedure to the
+            # run-time-resolution path — per-reference ownership tests
+            # and on-demand element messages need no analysis.  All
+            # compile-phase failures raise *before* the body rewrite, so
+            # the procedure is still pristine source here; it exports
+            # nothing, which callers already treat conservatively.
+            exports[name] = _demote_to_rtr(
+                name, e, prog, acg, reaching, opts, exports, report,
+                tags, main_name,
+            )
 
     return CompiledProgram(prog, initial, report, opts)
+
+
+def _demote_to_rtr(
+    name, err, prog, acg, reaching, opts, exports, report,
+    tags, main_name,
+) -> ProcExports:
+    """Compile procedure *name* with run-time resolution after its
+    compile-time analysis failed with *err* (Options.strict=False)."""
+    cause = str(err)
+    if cause.startswith(f"{name}: "):  # many errors already name the proc
+        cause = cause[len(name) + 2:]
+    why = f"{name}: demoted to run-time resolution ({cause})"
+    report.rtr_demotions.append(f"{name}: {cause}")
+    if why not in report.rtr_fallbacks:
+        report.rtr_fallbacks.append(why)
+    proc = prog.unit(name)
+    pr = reaching.per_proc[name]
+    pc = ProcedureCompiler(
+        proc, acg, reaching, opts, exports, report, tags,
+        is_main=(name == main_name),
+    )
+    arrays, rtr_arrays = resolve_arrays(proc, pr, opts)
+    return pc._compile_rtr(arrays, rtr_arrays)
 
 
 def _deep_copy(prog: A.Program) -> A.Program:

@@ -56,6 +56,12 @@ class Options:
     parameterized_overlaps: bool = False
     #: collect human-readable notes about decisions taken
     verbose_notes: bool = True
+    #: when False (the default), a procedure whose analysis fails or
+    #: that uses an unsupported construct is *demoted* to the run-time
+    #: resolution compilation path instead of aborting the whole
+    #: compilation — exactly the paper's fallback (§1, §4).  strict=True
+    #: preserves the hard-error behavior for tests and debugging.
+    strict: bool = False
 
     def notes_sink(self) -> list[str]:
         return []
@@ -74,6 +80,9 @@ class CompileReport:
     comm_placements: list[str] = field(default_factory=list)
     #: arrays that fell back to run-time resolution, with reasons
     rtr_fallbacks: list[str] = field(default_factory=list)
+    #: whole procedures demoted to the run-time-resolution path after an
+    #: analysis failure (strict=False graceful degradation), with reasons
+    rtr_demotions: list[str] = field(default_factory=list)
     #: remap statements emitted / eliminated / hoisted / marked
     remaps_emitted: int = 0
     remaps_eliminated: int = 0

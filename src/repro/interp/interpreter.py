@@ -858,11 +858,18 @@ def run_spmd(
     cost: CostModel = IPSC860,
     initial_dists: Optional[dict[tuple[str, str], Distribution]] = None,
     init_fn: Callable[[str, tuple[int, ...]], float] = default_init,
-    timeout_s: float = 120.0,
+    timeout_s: Optional[float] = None,
     vectorize: Optional[bool] = None,
+    faults=None,
 ) -> SPMDResult:
-    """Run a compiled SPMD node program on the simulated machine."""
-    machine = Machine(nprocs, cost, timeout_s)
+    """Run a compiled SPMD node program on the simulated machine.
+
+    *timeout_s* is the wall-clock safety net (``REPRO_SIM_TIMEOUT`` or
+    60 s when None; deadlocks are normally detected instantly).
+    *faults* is an optional :class:`~repro.machine.faults.FaultPlan`
+    (``REPRO_FAULTS`` when None).
+    """
+    machine = Machine(nprocs, cost, timeout_s, faults=faults)
     prints: list[str] = []
 
     def node(ctx: ProcContext) -> Frame:

@@ -1,8 +1,10 @@
 """Simulated MIMD distributed-memory machine."""
 
 from .costmodel import FAST_NETWORK, FREE, IPSC860, CostModel
+from .deadlock import DeadlockDetector, DeadlockReport, RankWait
+from .faults import FaultPlan
 from .machine import Machine, ProcContext
-from .network import Network, SimulationError
+from .network import DeadlockError, Network, SimulationError
 from .stats import RunStats
 
 __all__ = [
@@ -14,5 +16,10 @@ __all__ = [
     "ProcContext",
     "Network",
     "SimulationError",
+    "DeadlockError",
+    "DeadlockReport",
+    "DeadlockDetector",
+    "RankWait",
+    "FaultPlan",
     "RunStats",
 ]

@@ -3,17 +3,37 @@
 A :class:`Machine` runs one Python thread per node processor.  Each node
 sees a :class:`ProcContext` — its rank, virtual clock, and communication
 primitives — and runs the same node program (SPMD).  Exceptions on any
-node abort the whole run and are re-raised on the caller's thread.
+node abort the whole run: the remaining ranks are signalled and raise at
+their next network operation, every node thread is joined with a bound,
+and the *first* failure by virtual time is re-raised on the caller's
+thread (secondary teardown aborts never shadow the primary error).
+
+Resilience hooks:
+
+* ``faults=`` — a :class:`~repro.machine.faults.FaultPlan` injecting
+  deterministic delay jitter, drops-with-retransmit, per-rank compute
+  slowdowns, and crash-at-clock faults (``REPRO_FAULTS`` when unset);
+* ``timeout_s=`` — the wall-clock safety-net timeout
+  (``REPRO_SIM_TIMEOUT`` when unset; deadlocks are normally detected
+  instantly by the wait-for graph, long before this fires).
 """
 
 from __future__ import annotations
 
 import threading
+import time
 import traceback
-from typing import Any, Callable
+from typing import Any, Callable, Optional
 
 from .costmodel import CostModel, IPSC860
-from .network import CollectiveContext, Network, SimulationError
+from .deadlock import DeadlockDetector, DeadlockReport
+from .faults import FaultPlan
+from .network import (
+    AbortError,
+    CollectiveContext,
+    Network,
+    SimulationError,
+)
 from .stats import RunStats
 
 
@@ -43,6 +63,10 @@ class ProcContext:
         self._loops = 0      # loop iterations
         self._guard_ops = 0  # guard condition ops
         self._guards = 0     # guard evaluations (for RunStats)
+        # fault-injection state for this rank
+        f = machine.faults
+        self._slow = f.rank_slowdown(rank) if f is not None else 1.0
+        self._crash_at = f.crash_clock(rank) if f is not None else None
 
     @property
     def nprocs(self) -> int:
@@ -58,18 +82,32 @@ class ProcContext:
         """Convert pending charges to time in a fixed order (the order is
         part of the bit-for-bit contract between execution paths)."""
         if self._ops:
-            self._clock += self._ops * self.cost.flop
+            self._clock += self._ops * self.cost.flop * self._slow
             self._work += self._ops
             self._ops = 0
         if self._loops:
-            self._clock += self._loops * self.cost.loop_overhead
+            self._clock += self._loops * self.cost.loop_overhead * self._slow
             self._loops = 0
         if self._guard_ops:
-            self._clock += self._guard_ops * self.cost.flop
+            self._clock += self._guard_ops * self.cost.flop * self._slow
             self._guard_ops = 0
         if self._guards:
             self.stats.record_guards(self._guards)
             self._guards = 0
+
+    def _maybe_crash(self) -> None:
+        """Injected crash-at-clock fault, checked at communication
+        points (so a crash surfaces within one virtual exchange)."""
+        if self._crash_at is None:
+            return
+        self._flush()
+        if self._clock >= self._crash_at:
+            at = self._crash_at
+            self._crash_at = None
+            raise SimulationError(
+                f"injected crash: rank {self.rank} failed at virtual "
+                f"clock {self._clock:.3f} µs (crash scheduled at {at:g})"
+            )
 
     @property
     def clock(self) -> float:
@@ -102,11 +140,13 @@ class ProcContext:
     # -- point-to-point ------------------------------------------------------
 
     def send(self, dst: int, tag: int, payload: Any, nbytes: int) -> None:
+        self._maybe_crash()
         self.clock = self.machine.network.send(
             self.rank, dst, tag, payload, nbytes, self.clock
         )
 
     def recv(self, src: int, tag: int) -> Any:
+        self._maybe_crash()
         payload, self.clock = self.machine.network.recv(
             self.rank, src, tag, self.clock
         )
@@ -116,21 +156,25 @@ class ProcContext:
 
     def broadcast(self, root: int, payload: Any, nbytes: int,
                   consume: Any = None) -> Any:
+        self._maybe_crash()
         data, self.clock = self.machine.collectives.broadcast(
             self.rank, root, payload, nbytes, self.clock, consume=consume
         )
         return data
 
     def allreduce(self, value: Any, op: str, nbytes: int = 8) -> Any:
+        self._maybe_crash()
         result, self.clock = self.machine.collectives.allreduce(
             self.rank, value, op, nbytes, self.clock
         )
         return result
 
     def barrier(self) -> None:
+        self._maybe_crash()
         self.clock = self.machine.collectives.barrier(self.rank, self.clock)
 
     def exchange(self, outgoing: dict[int, Any], nbytes_out: int) -> dict[int, Any]:
+        self._maybe_crash()
         incoming, self.clock = self.machine.collectives.exchange(
             self.rank, outgoing, nbytes_out, self.clock
         )
@@ -144,44 +188,71 @@ class Machine:
         self,
         nprocs: int,
         cost: CostModel = IPSC860,
-        timeout_s: float = 60.0,
+        timeout_s: Optional[float] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         if nprocs < 1:
             raise ValueError("need at least one processor")
         self.nprocs = nprocs
         self.cost = cost
+        self.faults = faults if faults is not None else FaultPlan.from_env()
         self.stats = RunStats(nprocs=nprocs)
-        self.network = Network(nprocs, cost, self.stats, timeout_s)
-        self.collectives = CollectiveContext(
-            nprocs, cost, self.stats, timeout_s
+        self.detector = DeadlockDetector(nprocs)
+        self.network = Network(
+            nprocs, cost, self.stats, timeout_s,
+            faults=self.faults, detector=self.detector,
         )
+        self.collectives = CollectiveContext(
+            nprocs, cost, self.stats, timeout_s,
+            detector=self.detector, network=self.network,
+        )
+        self.detector.attach(self.network, self._declare_failure)
+
+    def _declare_failure(self, report: DeadlockReport) -> None:
+        """Deadlock declared: wake every blocked rank so the run tears
+        down (they raise DeadlockError/AbortError at their wait)."""
+        self.network.fail()
+        self.collectives.abort()
+
+    @property
+    def deadlock_report(self) -> Optional[DeadlockReport]:
+        return self.detector.report
 
     def run(self, node_program: Callable[[ProcContext], Any]) -> list[Any]:
         """Run *node_program* on every node; returns per-rank results.
 
-        The first exception raised on any node aborts the run and is
-        re-raised here with the failing rank noted.
+        On failure the remaining ranks are aborted at their next network
+        operation, all node threads are joined with a bound, and the
+        first error *by virtual time* is re-raised (teardown aborts are
+        only raised when no primary error exists).
         """
         contexts = [ProcContext(r, self) for r in range(self.nprocs)]
         results: list[Any] = [None] * self.nprocs
-        errors: list[tuple[int, BaseException, str]] = []
+        #: (secondary, clock, rank, exc, tb) per failed rank
+        errors: list[tuple[bool, float, int, BaseException, str]] = []
         lock = threading.Lock()
 
         def runner(ctx: ProcContext) -> None:
+            failed = False
             try:
                 results[ctx.rank] = node_program(ctx)
             except BaseException as e:  # noqa: BLE001 - reported to caller
+                failed = True
+                secondary = isinstance(e, AbortError)
                 with lock:
-                    errors.append((ctx.rank, e, traceback.format_exc()))
+                    errors.append(
+                        (secondary, ctx.clock, ctx.rank, e,
+                         traceback.format_exc())
+                    )
                 self.network.fail()
                 # break the collective barrier so peers don't hang
-                try:
-                    self.collectives._barrier.abort()
-                except Exception:
-                    pass
+                self.collectives.abort()
             finally:
                 self.stats.record_proc_time(ctx.rank, ctx.clock)
                 self.stats.record_proc_work(ctx.rank, ctx.work)
+                # a finished/failed rank may leave peers unwakeable:
+                # let the detector declare that deadlock immediately
+                self.detector.finish(ctx.rank, ctx.clock, failed=failed)
 
         if self.nprocs == 1:
             runner(contexts[0])
@@ -195,13 +266,34 @@ class Machine:
             ]
             for t in threads:
                 t.start()
+            # bounded join: every rank either finishes, or raises at its
+            # next network operation once a failure is declared
+            deadline = time.monotonic() + self.network.timeout_s + 10.0
             for t in threads:
-                t.join()
+                t.join(timeout=max(0.1, deadline - time.monotonic()))
+            leaked = [t.name for t in threads if t.is_alive()]
+            if leaked:  # pragma: no cover - defensive: should not happen
+                self.network.fail()
+                self.collectives.abort()
+                for t in threads:
+                    t.join(timeout=1.0)
+                leaked = [t.name for t in threads if t.is_alive()]
+                if leaked and not errors:
+                    raise SimulationError(
+                        f"node threads failed to terminate: {leaked}"
+                    )
         if errors:
-            rank, exc, tb = errors[0]
+            # primary failures (real errors, deadlock declarations)
+            # outrank secondary teardown aborts; ties break on virtual
+            # time then rank, so the report is deterministic
+            errors.sort(key=lambda e: (e[0], e[1], e[2]))
+            _secondary, _clock, rank, exc, tb = errors[0]
+            report = getattr(exc, "report", None)
             if isinstance(exc, SimulationError):
-                raise SimulationError(f"[node {rank}] {exc}") from exc
-            raise SimulationError(
-                f"node {rank} failed: {exc}\n{tb}"
-            ) from exc
+                err = SimulationError(f"[node {rank}] {exc}")
+                err.report = report
+                raise err from exc
+            err = SimulationError(f"node {rank} failed: {exc}\n{tb}")
+            err.report = report
+            raise err from exc
         return results

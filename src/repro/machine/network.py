@@ -7,23 +7,68 @@ advances the receiver's clock to ``max(own clock, arrival time)``.
 
 Threads provide the concurrency (one per simulated node); a condition
 variable per destination wakes blocked receivers.  Deadlocks (e.g. a
-miscompiled program receiving a message nobody sends) surface as a
-:class:`SimulationError` after a wall-clock timeout rather than a hang.
+miscompiled program receiving a message nobody sends) are detected
+*instantly* by the wait-for bookkeeping in
+:mod:`repro.machine.deadlock`: the moment every live rank is blocked
+with no in-flight message matching any awaited key, a
+:class:`DeadlockError` carrying a structured
+:class:`~repro.machine.deadlock.DeadlockReport` is raised.  A
+wall-clock timeout (``REPRO_SIM_TIMEOUT``, default 60 s) remains as a
+safety net only.
+
+A :class:`~repro.machine.faults.FaultPlan` may inject per-message delay
+jitter and drops-with-retransmit; both only move virtual arrival times
+(delivery itself is reliable), so results and message/byte counts are
+unchanged by construction.
 """
 
 from __future__ import annotations
 
+import os
 import threading
+import time
 from collections import deque
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Optional
 
 from .costmodel import CostModel
+from .deadlock import DeadlockDetector, DeadlockReport
+from .faults import FaultPlan
 from .stats import RunStats
+
+DEFAULT_TIMEOUT_S = 60.0
+
+
+def resolve_timeout(timeout_s: Optional[float]) -> float:
+    """Explicit value, else ``REPRO_SIM_TIMEOUT``, else 60 s."""
+    if timeout_s is not None:
+        return timeout_s
+    env = os.environ.get("REPRO_SIM_TIMEOUT", "").strip()
+    if env:
+        try:
+            return float(env)
+        except ValueError:
+            pass
+    return DEFAULT_TIMEOUT_S
 
 
 class SimulationError(Exception):
     """Deadlock or protocol error inside the simulated machine."""
+
+    report: Optional[DeadlockReport] = None
+
+
+class DeadlockError(SimulationError):
+    """Deadlock detected; ``report`` carries the structured diagnosis."""
+
+    def __init__(self, msg: str, report: Optional[DeadlockReport] = None):
+        super().__init__(msg)
+        self.report = report
+
+
+class AbortError(SimulationError):
+    """Secondary failure: this rank was torn down because another rank
+    failed first (the primary error is re-raised by ``Machine.run``)."""
 
 
 @dataclass
@@ -52,18 +97,28 @@ class Network:
         nprocs: int,
         cost: CostModel,
         stats: RunStats,
-        timeout_s: float = 60.0,
+        timeout_s: Optional[float] = None,
+        faults: Optional[FaultPlan] = None,
+        detector: Optional[DeadlockDetector] = None,
     ) -> None:
         self.nprocs = nprocs
         self.cost = cost
         self.stats = stats
-        self.timeout_s = timeout_s
+        self.timeout_s = resolve_timeout(timeout_s)
+        self.faults = faults
+        self.detector = detector
         self._queues: list[dict[tuple[int, int], deque[_Message]]] = [
             {} for _ in range(nprocs)
         ]
         self._conds = [threading.Condition() for _ in range(nprocs)]
         self._waiting: list[tuple[int, int] | None] = [None] * nprocs
         self._failed = threading.Event()
+        #: per-(src, dst, tag) sequence numbers for deterministic fault
+        #: identity.  Only thread *src* sends on a given key, so plain
+        #: dict updates are race-free under the GIL.
+        self._seq: dict[tuple[int, int, int], int] = {}
+
+    # -- failure propagation ------------------------------------------------
 
     def fail(self) -> None:
         """Wake all blocked receivers after an error elsewhere."""
@@ -72,18 +127,48 @@ class Network:
             with c:
                 c.notify_all()
 
+    def failing(self) -> bool:
+        return self._failed.is_set()
+
+    def _failure_error(self, dst: int, src: int, tag: int) -> SimulationError:
+        """The error a torn-down rank raises: the deadlock diagnosis if
+        one was declared, a secondary abort otherwise."""
+        rep = self.detector.report if self.detector is not None else None
+        if rep is not None:
+            return DeadlockError(
+                f"deadlock: {rep.reason}\n{rep.describe()}", rep
+            )
+        return AbortError(
+            f"processor {dst} aborted while waiting for "
+            f"(src={src}, tag={tag})"
+        )
+
+    # -- traffic -------------------------------------------------------------
+
     def send(
         self, src: int, dst: int, tag: int, payload: Any, nbytes: int,
         now: float,
     ) -> float:
         """Deliver a message; returns the sender's clock after the send."""
+        if self._failed.is_set():
+            raise AbortError(
+                f"processor {src} aborted before send to {dst}"
+            )
         if not (0 <= dst < self.nprocs):
             raise SimulationError(f"send to invalid processor {dst}")
         if dst == src:
             raise SimulationError(f"processor {src} sending to itself")
         sender_after = now + self.cost.send_cost(nbytes)
-        msg = _Message(src, tag, payload, nbytes,
-                       now + self.cost.transfer_time(nbytes))
+        available = now + self.cost.transfer_time(nbytes)
+        if self.faults is not None and self.faults.affects_messages:
+            seqkey = (src, dst, tag)
+            seq = self._seq.get(seqkey, 0)
+            self._seq[seqkey] = seq + 1
+            extra, retries = self.faults.message_faults(src, dst, tag, seq)
+            if extra or retries:
+                available += extra
+                self.stats.record_fault(retries)
+        msg = _Message(src, tag, payload, nbytes, available)
         key = (src, tag)
         cond = self._conds[dst]
         with cond:
@@ -102,9 +187,10 @@ class Network:
             raise SimulationError(f"recv from invalid processor {src}")
         key = (src, tag)
         cond = self._conds[dst]
-        with cond:
-            queues = self._queues[dst]
-            while True:
+        deadline = time.monotonic() + self.timeout_s
+        while True:
+            with cond:
+                queues = self._queues[dst]
                 q = queues.get(key)
                 if q:
                     m = q.popleft()
@@ -113,25 +199,59 @@ class Network:
                     arrive = max(now, m.available_at)
                     return m.payload, arrive + self.cost.recv_cost(m.nbytes)
                 if self._failed.is_set():
-                    raise SimulationError(
-                        f"processor {dst} aborted while waiting for "
-                        f"(src={src}, tag={tag})"
-                    )
+                    raise self._failure_error(dst, src, tag)
                 self._waiting[dst] = key
-                try:
-                    arrived = cond.wait(timeout=self.timeout_s)
-                finally:
+            # Register the blocked state *outside* the condition lock
+            # (lock order is always detector -> queue, never reversed).
+            # This raises DeadlockError right here when this rank's
+            # transition completes a deadlock.
+            try:
+                if self.detector is not None:
+                    self.detector.block_recv(dst, key, now)
+                remaining = deadline - time.monotonic()
+                with cond:
+                    if not self._queues[dst].get(key) \
+                            and not self._failed.is_set():
+                        arrived = cond.wait(timeout=max(0.0, remaining))
+                    else:
+                        arrived = True
+            finally:
+                if self.detector is not None:
+                    self.detector.unblock(dst)
+                with cond:
                     self._waiting[dst] = None
-                if not arrived:
-                    self.fail()
-                    raise SimulationError(
-                        f"deadlock: processor {dst} waited for message "
-                        f"(src={src}, tag={tag}) that never arrived"
-                    )
+            if not arrived:
+                # wall-clock safety net: something is blocked in a way
+                # the wait-for graph cannot see (should not happen)
+                self.fail()
+                reason = (
+                    f"wall-clock timeout: processor {dst} waited "
+                    f"{self.timeout_s:.1f}s for message (src={src}, "
+                    f"tag={tag}) that never arrived"
+                )
+                rep = self.detector.snapshot(reason) \
+                    if self.detector is not None else None
+                raise DeadlockError(f"deadlock: {reason}", rep)
+
+    # -- introspection -------------------------------------------------------
 
     def pending(self, dst: int) -> int:
         with self._conds[dst]:
             return sum(len(q) for q in self._queues[dst].values())
+
+    def has_pending(self, dst: int, key: tuple[int, int]) -> bool:
+        """True when an undelivered message matches *key* at *dst*."""
+        with self._conds[dst]:
+            return bool(self._queues[dst].get(key))
+
+    def pending_summary(
+        self, dst: int
+    ) -> list[tuple[tuple[int, int], int]]:
+        """[(key, count)] of undelivered messages queued at *dst*."""
+        with self._conds[dst]:
+            return sorted(
+                (key, len(q)) for key, q in self._queues[dst].items() if q
+            )
 
 
 class CollectiveContext:
@@ -144,23 +264,60 @@ class CollectiveContext:
     """
 
     def __init__(self, nprocs: int, cost: CostModel, stats: RunStats,
-                 timeout_s: float = 60.0) -> None:
+                 timeout_s: Optional[float] = None,
+                 detector: Optional[DeadlockDetector] = None,
+                 network: Optional[Network] = None) -> None:
         self.nprocs = nprocs
         self.cost = cost
         self.stats = stats
-        self.timeout_s = timeout_s
-        self._barrier = threading.Barrier(nprocs)
+        self.timeout_s = resolve_timeout(timeout_s)
+        self.detector = detector
+        self.network = network
+        # the action callback runs in exactly one thread when the
+        # barrier trips, before any waiter is released: it clears the
+        # waiters' blocked states so a rank finishing right after the
+        # rendezvous cannot observe them stale and cry deadlock
+        action = detector.release_collective if detector is not None else None
+        self._barrier = threading.Barrier(nprocs, action=action)
         self._lock = threading.Lock()
         self._slots: dict[str, Any] = {}
         self._clocks: list[float] = [0.0] * nprocs
 
-    def _sync(self) -> None:
+    def abort(self) -> None:
+        """Break the rendezvous so collective waiters unblock."""
         try:
-            self._barrier.wait(timeout=self.timeout_s)
-        except threading.BrokenBarrierError as e:  # pragma: no cover
-            raise SimulationError(
-                "collective barrier broken (a node died or deadlocked)"
-            ) from e
+            self._barrier.abort()
+        except Exception:  # pragma: no cover - abort never raises today
+            pass
+
+    def _failure_error(self, rank: int, label: str) -> SimulationError:
+        rep = None
+        if self.detector is not None:
+            rep = self.detector.report
+        if rep is not None:
+            return DeadlockError(
+                f"deadlock: {rep.reason}\n{rep.describe()}", rep
+            )
+        return AbortError(
+            f"processor {rank} aborted inside collective {label!r} "
+            f"(a peer failed or deadlocked)"
+        )
+
+    def _sync(self, rank: int, label: str) -> None:
+        if self.network is not None and self.network.failing():
+            raise self._failure_error(rank, label)
+        try:
+            if self.detector is not None:
+                self.detector.block_collective(
+                    rank, label, self._clocks[rank]
+                )
+            try:
+                self._barrier.wait(timeout=self.timeout_s)
+            finally:
+                if self.detector is not None:
+                    self.detector.unblock(rank)
+        except threading.BrokenBarrierError:
+            raise self._failure_error(rank, label) from None
 
     def broadcast(self, rank: int, root: int, payload: Any, nbytes: int,
                   now: float, consume: Any = None) -> tuple[Any, float]:
@@ -176,17 +333,17 @@ class CollectiveContext:
         if rank == root:
             with self._lock:
                 self._slots["bcast"] = payload
-        self._sync()
+        self._sync(rank, "bcast")
         data = self._slots["bcast"]
         t = max(self._clocks) + self.cost.collective_cost(self.nprocs, nbytes)
         if consume is not None:
             consume(data)
-        self._sync()
+        self._sync(rank, "bcast")
         if rank == root:
             self.stats.record_collective(nbytes)
             with self._lock:
                 self._slots.pop("bcast", None)
-        self._sync()
+        self._sync(rank, "bcast")
         return data, t
 
     def allreduce(self, rank: int, value: Any, op: str, nbytes: int,
@@ -200,7 +357,7 @@ class CollectiveContext:
         self._clocks[rank] = now
         with self._lock:
             self._slots.setdefault("reduce", {})[rank] = value
-        self._sync()
+        self._sync(rank, "reduce")
         table = self._slots["reduce"]
         values = [table[r] for r in range(self.nprocs)]
         if op == "sum":
@@ -218,19 +375,19 @@ class CollectiveContext:
         t = max(self._clocks) + 2 * self.cost.collective_cost(
             self.nprocs, nbytes
         )
-        self._sync()
+        self._sync(rank, "reduce")
         if rank == 0:
             self.stats.record_collective(nbytes * self.nprocs)
             with self._lock:
                 self._slots.pop("reduce", None)
-        self._sync()
+        self._sync(rank, "reduce")
         return result, t
 
     def barrier(self, rank: int, now: float) -> float:
         self._clocks[rank] = now
-        self._sync()
+        self._sync(rank, "barrier")
         t = max(self._clocks) + self.cost.barrier_cost(self.nprocs)
-        self._sync()
+        self._sync(rank, "barrier")
         return t
 
     def exchange(self, rank: int, outgoing: dict[int, Any], nbytes_out: int,
@@ -246,7 +403,7 @@ class CollectiveContext:
         with self._lock:
             table = self._slots.setdefault("exchange", {})
             table[rank] = (outgoing, nbytes_out)
-        self._sync()
+        self._sync(rank, "exchange")
         table = self._slots["exchange"]
         incoming = {
             src: msgs[rank]
@@ -256,7 +413,7 @@ class CollectiveContext:
         t = max(self._clocks) + self.cost.collective_cost(
             self.nprocs, max(nbytes_out, 1)
         )
-        self._sync()
+        self._sync(rank, "exchange")
         if rank == 0:
             nmsgs = sum(len(msgs) for msgs, _nb in table.values())
             nbytes = sum(nb for _msgs, nb in table.values())
@@ -264,5 +421,5 @@ class CollectiveContext:
                 self.stats.record_exchange(nmsgs, nbytes)
             with self._lock:
                 self._slots.pop("exchange", None)
-        self._sync()
+        self._sync(rank, "exchange")
         return incoming, t

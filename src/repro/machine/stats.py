@@ -24,6 +24,10 @@ class RunStats:
     remap_bytes: int = 0
     flops: float = 0.0           # scalar operations executed (all procs)
     guards: int = 0              # guard (IF) evaluations executed
+    #: injected-fault bookkeeping (never part of messages/bytes: faults
+    #: move virtual arrival times, they do not create protocol traffic)
+    faulted_messages: int = 0    # messages that were delayed or dropped
+    retransmits: int = 0         # retransmission attempts simulated
     proc_times: dict[int, float] = field(default_factory=dict)  # µs
     #: scalar operations executed per processor (pure compute work,
     #: excluding waiting -- exposes load imbalance that collective
@@ -60,6 +64,13 @@ class RunStats:
         with self._lock:
             self.messages += nmsgs
             self.bytes += nbytes
+
+    def record_fault(self, retransmits: int = 0) -> None:
+        """One message perturbed by the fault plan (delay jitter and/or
+        *retransmits* dropped transmission attempts)."""
+        with self._lock:
+            self.faulted_messages += 1
+            self.retransmits += retransmits
 
     def record_flops(self, n: float) -> None:
         with self._lock:

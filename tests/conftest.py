@@ -1,0 +1,13 @@
+"""Shared test configuration.
+
+Deadlocks are detected instantly by the simulator's wait-for graph, so
+the wall-clock timeout is only a safety net for detector regressions.
+Keep it short in the suite: a bug should cost seconds, not the old
+60-second silence.  Tests that need a specific value still win — an
+explicit ``timeout_s=`` beats the environment, and ``setdefault`` never
+overrides a value the invoker exported.
+"""
+
+import os
+
+os.environ.setdefault("REPRO_SIM_TIMEOUT", "20")

@@ -130,11 +130,7 @@ end
         for mode in (Mode.INTER, Mode.RTR):
             check(src, scalars=("hit",), mode=mode)
 
-    def test_partitioned_context_rejected_clearly(self):
-        """A condition reading distributed data *inside a partitioned
-        loop* cannot be compiled (the broadcast would desynchronize):
-        the compiler says so instead of miscompiling."""
-        src = """
+    PARTITIONED_COND_SRC = """
 program p
 real x(16), y(16)
 align y(i) with x(i)
@@ -149,8 +145,26 @@ do i = 2, 16
 enddo
 end
 """
+
+    def test_partitioned_context_rejected_under_strict(self):
+        """A condition reading distributed data *inside a partitioned
+        loop* cannot be compiled (the broadcast would desynchronize):
+        under strict=True the compiler says so instead of
+        miscompiling."""
         with pytest.raises(CompileError, match="branch condition"):
-            compile_program(src, Options(nprocs=4, mode=Mode.INTER))
+            compile_program(
+                self.PARTITIONED_COND_SRC,
+                Options(nprocs=4, mode=Mode.INTER, strict=True),
+            )
+
+    def test_partitioned_context_demoted_by_default(self):
+        """Without strict, the same program compiles: the offending
+        procedure is demoted to run-time resolution (the paper's
+        fallback) and the result still matches the oracle."""
+        cp, _ = check(self.PARTITIONED_COND_SRC, arrays=("x", "y"))
+        assert cp.report.rtr_demotions
+        assert "branch condition" in cp.report.rtr_demotions[0]
+        assert "demoted to run-time resolution" in cp.explain()
 
 
 class TestNestedRewrites:

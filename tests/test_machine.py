@@ -1,4 +1,8 @@
-"""Tests for the simulated MIMD machine: network, collectives, timing."""
+"""Tests for the simulated MIMD machine: network, collectives, timing,
+instant deadlock diagnosis, and deterministic fault injection."""
+
+import threading
+import time
 
 import pytest
 
@@ -6,9 +10,18 @@ from repro.machine import (
     FREE,
     IPSC860,
     CostModel,
+    FaultPlan,
     Machine,
     SimulationError,
 )
+from repro.machine.network import resolve_timeout
+
+
+def node_threads():
+    """Names of still-alive simulated node threads (should be none
+    outside an active Machine.run)."""
+    return [t.name for t in threading.enumerate()
+            if t.name.startswith("node-")]
 
 
 class TestPointToPoint:
@@ -242,6 +255,257 @@ class TestCollectives:
         assert m.stats.messages == 6       # 3 ranks x 2 destinations
         assert m.stats.bytes == 3 * 16     # each rank contributed 16 B
         assert m.stats.total_bytes == m.stats.bytes
+
+
+class TestDeadlockDiagnostics:
+    """Deadlocks are declared by the wait-for graph the instant they
+    become true — with a 60 s safety-net timeout, each case must still
+    fail well under a second and carry a structured report."""
+
+    def _deadlock(self, nprocs, prog):
+        t0 = time.monotonic()
+        with pytest.raises(SimulationError) as ei:
+            Machine(nprocs, FREE, timeout_s=60.0).run(prog)
+        assert time.monotonic() - t0 < 1.0, "detection was not instant"
+        assert not node_threads(), "leaked node threads"
+        report = ei.value.report
+        assert report is not None, "no DeadlockReport attached"
+        return ei.value, report
+
+    def test_recv_with_no_sender(self):
+        def prog(ctx):
+            if ctx.rank == 2:
+                ctx.recv(0, 42)  # never sent
+
+        err, rep = self._deadlock(3, prog)
+        assert rep.blocked_ranks == [2]
+        assert rep.awaited[2] == (0, 42)
+        assert "src=0" in str(err) and "tag=42" in str(err)
+
+    def test_mismatched_barrier_membership(self):
+        def prog(ctx):
+            if ctx.rank != 0:  # rank 0 skips the barrier and finishes
+                ctx.barrier()
+
+        _, rep = self._deadlock(3, prog)
+        assert rep.blocked_ranks == [1, 2]
+        assert rep.awaited[1] == "barrier"
+        assert "collective" in rep.reason
+
+    def test_tag_mismatch(self):
+        def prog(ctx):
+            if ctx.rank == 0:
+                ctx.send(1, 7, "payload", 8)
+            else:
+                ctx.recv(0, 8)  # tag 8 never sent
+
+        _, rep = self._deadlock(2, prog)
+        assert rep.awaited[1] == (0, 8)
+        # the mismatched message shows up in rank 1's pending summary
+        assert rep.pending[1] == [((0, 7), 1)]
+
+    def test_cyclic_recv_wait(self):
+        """Two ranks each waiting on the other: a wait-for cycle."""
+
+        def prog(ctx):
+            ctx.recv(1 - ctx.rank, 0)
+
+        _, rep = self._deadlock(2, prog)
+        assert rep.blocked_ranks == [0, 1]
+        assert rep.awaited == {0: (1, 0), 1: (0, 0)}
+
+    def test_recv_from_finished_rank(self):
+        """A rank that already finished can never satisfy the wait."""
+
+        def prog(ctx):
+            if ctx.rank == 1:
+                ctx.recv(0, 0)
+
+        _, rep = self._deadlock(2, prog)
+        waits = {w.rank: w.state for w in rep.waits}
+        assert waits[0] == "finished"
+        assert waits[1] == "blocked-recv"
+
+    def test_collective_vs_recv_split(self):
+        """One rank in a barrier, one in a recv: neither can advance."""
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                ctx.barrier()
+            else:
+                ctx.recv(0, 9)
+
+        _, rep = self._deadlock(2, prog)
+        assert rep.awaited == {0: "barrier", 1: (0, 9)}
+
+    def test_correct_barrier_heavy_program_not_flagged(self):
+        """Regression guard for the release race: a rank finishing right
+        as a barrier trips must not observe stale blocked states."""
+
+        def prog(ctx):
+            for i in range(200):
+                if ctx.rank == 0:
+                    ctx.send(1, i, i, 8)
+                elif ctx.rank == 1:
+                    assert ctx.recv(0, i) == i
+                ctx.barrier()
+            return ctx.rank
+
+        for _ in range(5):
+            assert Machine(3, FREE).run(prog) == [0, 1, 2]
+        assert not node_threads()
+
+    def test_report_describe_lists_every_rank(self):
+        def prog(ctx):
+            if ctx.rank == 0:
+                ctx.recv(3, 1)
+
+        _, rep = self._deadlock(4, prog)
+        text = rep.describe()
+        for r in range(4):
+            assert f"rank {r}" in text
+
+
+class TestTimeoutConfig:
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_TIMEOUT", "7")
+        assert resolve_timeout(3.0) == 3.0
+        assert Machine(2, FREE, timeout_s=3.0).network.timeout_s == 3.0
+
+    def test_env_beats_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_TIMEOUT", "7.5")
+        assert resolve_timeout(None) == 7.5
+        assert Machine(2, FREE).network.timeout_s == 7.5
+
+    def test_default_when_unset(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SIM_TIMEOUT", raising=False)
+        assert resolve_timeout(None) == 60.0
+
+    def test_garbage_env_ignored(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_TIMEOUT", "soon")
+        assert resolve_timeout(None) == 60.0
+
+
+class TestFaultInjection:
+    def _ring(self, ctx):
+        nxt = (ctx.rank + 1) % ctx.nprocs
+        prv = (ctx.rank - 1) % ctx.nprocs
+        total = 0
+        for i in range(10):
+            ctx.send(nxt, i, ctx.rank + i, 8)
+            total += ctx.recv(prv, i)
+            ctx.compute(50)
+        return (total, ctx.allreduce(total, "sum"))
+
+    def test_same_seed_reproduces_exactly(self):
+        plan = FaultPlan(seed=11, delay_prob=0.5, delay_max_us=80.0,
+                         drop_prob=0.2, retry_timeout_us=50.0)
+        runs = []
+        for _ in range(2):
+            m = Machine(4, IPSC860, faults=plan)
+            runs.append((m.run(self._ring), dict(m.stats.proc_times),
+                         m.stats.messages, m.stats.retransmits))
+        assert runs[0] == runs[1]
+
+    def test_delivery_and_results_unchanged_only_clocks_move(self):
+        m_clean = Machine(4, IPSC860)
+        res_clean = m_clean.run(self._ring)
+        plan = FaultPlan(seed=3, delay_prob=0.8, delay_max_us=500.0,
+                         drop_prob=0.3, retry_timeout_us=100.0)
+        m_chaos = Machine(4, IPSC860, faults=plan)
+        res_chaos = m_chaos.run(self._ring)
+        assert res_chaos == res_clean
+        assert m_chaos.stats.messages == m_clean.stats.messages
+        assert m_chaos.stats.bytes == m_clean.stats.bytes
+        assert m_chaos.stats.collectives == m_clean.stats.collectives
+        assert m_chaos.stats.faulted_messages > 0
+        assert m_chaos.stats.retransmits > 0
+        assert m_chaos.stats.time_us > m_clean.stats.time_us
+
+    def test_rank_slowdown_scales_compute(self):
+        def prog(ctx):
+            ctx.compute(1000)
+            return ctx.clock
+
+        cost = CostModel(alpha=0.0, beta=0.0, flop=1.0, loop_overhead=0.0,
+                         copy=0.0)
+        res = Machine(2, cost,
+                      faults=FaultPlan(slowdown={1: 2.5})).run(prog)
+        assert res[0] == pytest.approx(1000.0)
+        assert res[1] == pytest.approx(2500.0)
+
+    def test_crash_at_clock_fails_cleanly(self):
+        def prog(ctx):
+            for i in range(100):
+                ctx.compute(10)
+                ctx.barrier()
+            return "survived"
+
+        t0 = time.monotonic()
+        with pytest.raises(SimulationError, match="injected crash"):
+            Machine(3, CostModel(flop=1.0),
+                    faults=FaultPlan(crash_at={1: 250.0})).run(prog)
+        assert time.monotonic() - t0 < 2.0
+        assert not node_threads()
+
+    def test_crash_identifies_rank(self):
+        def prog(ctx):
+            ctx.barrier()
+
+        with pytest.raises(SimulationError, match=r"rank 2"):
+            Machine(3, FREE,
+                    faults=FaultPlan(crash_at={2: 0.0})).run(prog)
+
+    def test_message_faults_pure_function_of_identity(self):
+        plan = FaultPlan(seed=5, delay_prob=0.5, delay_max_us=100.0,
+                         drop_prob=0.4)
+        a = [plan.message_faults(0, 1, t, s)
+             for t in range(20) for s in range(5)]
+        b = [plan.message_faults(0, 1, t, s)
+             for t in range(20) for s in range(5)]
+        assert a == b
+        for extra, retries in a:
+            assert extra >= 0.0
+            assert 0 <= retries <= plan.max_retries
+        # some message must actually be perturbed at these probabilities
+        assert any(extra > 0 for extra, _ in a)
+        # a different seed perturbs a different subset
+        other = FaultPlan(seed=6, delay_prob=0.5, delay_max_us=100.0,
+                          drop_prob=0.4)
+        assert a != [other.message_faults(0, 1, t, s)
+                     for t in range(20) for s in range(5)]
+
+    def test_parse_full_grammar(self):
+        plan = FaultPlan.parse(
+            "delay=0.5:80, drop=0.1, retry=50, slow=1:2.0, crash=2@5000",
+            seed=7,
+        )
+        assert plan.seed == 7
+        assert plan.delay_prob == 0.5 and plan.delay_max_us == 80.0
+        assert plan.drop_prob == 0.1
+        assert plan.retry_timeout_us == 50.0
+        assert plan.slowdown == {1: 2.0}
+        assert plan.crash_at == {2: 5000.0}
+        assert plan.affects_messages
+
+    def test_parse_rejects_garbage(self):
+        for bad in ("frobnicate=1", "delay=often", "slow=1", "crash=2"):
+            with pytest.raises(ValueError):
+                FaultPlan.parse(bad)
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        assert FaultPlan.from_env() is None
+        monkeypatch.setenv("REPRO_FAULTS", "delay=0.25:40")
+        monkeypatch.setenv("REPRO_FAULT_SEED", "9")
+        plan = FaultPlan.from_env()
+        assert plan.seed == 9 and plan.delay_prob == 0.25
+
+    def test_machine_picks_up_env_plan(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "slow=0:3.0")
+        m = Machine(2, FREE)
+        assert m.faults is not None
+        assert m.faults.rank_slowdown(0) == 3.0
 
 
 class TestErrors:

@@ -1,14 +1,17 @@
 """Tests for message-run ordering (sends before receives) and the mixed
 shift + pipeline interaction that motivated it."""
 
+import time
+
 import numpy as np
+import pytest
 
 from repro.core import Mode, Options, compile_program
 from repro.core.codegen import order_sends_first
 from repro.interp import run_sequential
 from repro.lang import ast as A
 from repro.lang import parse
-from repro.machine import FREE
+from repro.machine import FREE, SimulationError
 
 
 class TestOrderSendsFirst:
@@ -93,6 +96,66 @@ end
         main_msgs = [s for s in A.walk_stmts(cp.program.main.body)
                      if isinstance(s, (A.Send, A.Recv))]
         assert len(main_msgs) == 2  # the hoisted prefetch pair
+
+
+class TestMiscompiledMessagesDiagnosed:
+    """A message-ordering bug in a compiled node program must be
+    diagnosed instantly by the wait-for graph — through the full
+    interpreter stack, not just the raw Machine API."""
+
+    def _break_and_run(self, mutate):
+        cp = compile_program(TestMixedShiftPipeline.SRC,
+                             Options(nprocs=4, mode=Mode.INTER))
+        msgs = [s for s in A.walk_stmts(cp.program.unit("g").body)
+                if isinstance(s, (A.Send, A.Recv))]
+        mutate(msgs)
+        t0 = time.monotonic()
+        with pytest.raises(SimulationError) as ei:
+            cp.run(cost=FREE, timeout_s=60)
+        assert time.monotonic() - t0 < 1.0, "diagnosis was not instant"
+        assert ei.value.report is not None
+        return ei.value.report
+
+    def test_wrong_recv_tag(self):
+        def mutate(msgs):
+            recv = next(s for s in msgs if isinstance(s, A.Recv))
+            recv.tag += 971  # nobody sends this tag
+
+        rep = self._break_and_run(mutate)
+        assert rep.blocked_ranks
+        # the orphaned wavefront message shows up as pending traffic
+        assert any(rep.pending.values())
+
+    def test_deleted_send(self):
+        """Dropping the wavefront send leaves its receivers stranded;
+        the report names them and their awaited keys."""
+        cp = compile_program(TestMixedShiftPipeline.SRC,
+                             Options(nprocs=4, mode=Mode.INTER))
+        g = cp.program.unit("g")
+
+        def strip_sends(stmts):
+            out = []
+            for s in stmts:
+                if isinstance(s, A.Send):
+                    continue
+                if isinstance(s, A.If):
+                    s.then_body = strip_sends(s.then_body)
+                    s.else_body = strip_sends(s.else_body)
+                elif isinstance(s, A.Do):
+                    s.body = strip_sends(s.body)
+                out.append(s)
+            return out
+
+        g.body = strip_sends(g.body)
+        t0 = time.monotonic()
+        with pytest.raises(SimulationError) as ei:
+            cp.run(cost=FREE, timeout_s=60)
+        assert time.monotonic() - t0 < 1.0
+        rep = ei.value.report
+        assert rep is not None
+        assert rep.blocked_ranks
+        assert all(isinstance(rep.awaited[r], tuple)
+                   for r in rep.blocked_ranks)
 
 
 class TestRedBlackStaysSafe:

@@ -1,0 +1,124 @@
+"""Graceful degradation: unanalyzable procedures demote to run-time
+resolution instead of aborting the whole compilation.
+
+The paper's compiler always has run-time resolution (its Mode.RTR
+baseline) as a universally-correct fallback; these tests pin the
+driver's use of it as a per-procedure safety net — the rest of the
+program keeps its optimized interprocedural communication, the demoted
+procedure stays correct, and ``strict=True`` restores the old
+fail-fast behavior for compiler development.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import CompileError, Mode, Options, compile_program
+from repro.interp import run_sequential
+from repro.lang import parse
+from repro.machine import FREE
+
+#: main is fully analyzable; ``shade`` reads distributed data in a
+#: branch condition inside a partitioned loop — the one shape the
+#: communication planner refuses to compile
+SRC = """
+program p
+real x(16), y(16)
+align y(i) with x(i)
+distribute x(block)
+do i = 1, 16
+  x(i) = i * 1.0
+  y(i) = 0.0
+enddo
+call shade(x, y)
+do i = 1, 16
+  y(i) = y(i) * 2.0
+enddo
+end
+
+subroutine shade(x, y)
+real x(16), y(16)
+do i = 2, 16
+  if (x(i - 1) > 3.0) then
+    y(i) = 1.0
+  endif
+enddo
+end
+"""
+
+
+class TestDemotion:
+    def test_demoted_subroutine_still_correct(self):
+        seq = run_sequential(parse(SRC))
+        cp = compile_program(SRC, Options(nprocs=4, mode=Mode.INTER))
+        res = cp.run(cost=FREE, timeout_s=30.0)
+        for name in ("x", "y"):
+            assert np.allclose(res.gathered(name), seq.arrays[name].data)
+
+    def test_only_the_offender_is_demoted(self):
+        cp = compile_program(SRC, Options(nprocs=4, mode=Mode.INTER))
+        assert len(cp.report.rtr_demotions) == 1
+        assert cp.report.rtr_demotions[0].startswith("shade:")
+        assert "branch condition" in cp.report.rtr_demotions[0]
+
+    def test_explain_reports_demotion(self):
+        cp = compile_program(SRC, Options(nprocs=4, mode=Mode.INTER))
+        text = cp.explain()
+        assert "demoted to run-time resolution" in text
+        assert "shade" in text
+
+    def test_demoted_body_uses_runtime_resolution(self):
+        """The demoted procedure's node text carries RTR ownership
+        guards; the analyzable main does not."""
+        cp = compile_program(SRC, Options(nprocs=4, mode=Mode.INTER))
+        text = cp.text()
+        assert "owner(" in text
+
+    def test_strict_restores_fail_fast(self):
+        with pytest.raises(CompileError, match="branch condition"):
+            compile_program(
+                SRC, Options(nprocs=4, mode=Mode.INTER, strict=True)
+            )
+
+    def test_strict_accepts_clean_programs(self):
+        src = """
+program p
+real x(8)
+distribute x(block)
+do i = 1, 8
+  x(i) = i * 1.0
+enddo
+end
+"""
+        cp = compile_program(src, Options(nprocs=4, mode=Mode.INTER,
+                                          strict=True))
+        assert cp.report.rtr_demotions == []
+
+
+class TestDemotionCli:
+    @pytest.fixture
+    def src_file(self, tmp_path):
+        p = tmp_path / "demote.fd"
+        p.write_text(SRC)
+        return str(p)
+
+    def test_report_lists_demotion(self, src_file, capsys):
+        from repro.cli import main
+
+        assert main([src_file, "--report", "--no-text"]) == 0
+        out = capsys.readouterr().out
+        assert "! rtr-demotion shade:" in out
+
+    def test_strict_flag_fails_compilation(self, src_file, capsys):
+        from repro.cli import main
+
+        assert main([src_file, "--strict", "--no-text"]) == 1
+        err = capsys.readouterr().err
+        assert "compilation failed" in err
+
+    def test_demoted_program_runs_and_verifies(self, src_file, capsys):
+        from repro.cli import main
+
+        assert main([src_file, "--run", "--verify", "--no-text",
+                     "--cost", "free"]) == 0
+        out = capsys.readouterr().out
+        assert "! verify y: OK" in out
