@@ -9,12 +9,33 @@ the *shape* — who wins and by roughly what factor.
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import numpy as np
 
 from repro.core import DynOpt, Mode, Options, compile_program
 from repro.interp import run_sequential
 from repro.lang import parse
 from repro.machine import IPSC860
+
+#: repository root — every benchmark's JSON artifact lands here so CI
+#: can glob ``BENCH_*.json`` uniformly
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def emit_bench(name: str, payload: dict) -> Path:
+    """Write *payload* to ``BENCH_<name>.json`` at the repository root.
+
+    Each benchmark module calls this once with its measured quantities;
+    the files are the machine-readable counterpart of the printed
+    paper-style tables and are uploaded as CI artifacts.
+    """
+    out = REPO_ROOT / f"BENCH_{name}.json"
+    out.write_text(
+        json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n"
+    )
+    return out
 
 
 def compile_and_measure(

@@ -17,7 +17,7 @@ import pytest
 from repro.apps import FIG4, adi_source, dgefa_source, make_dgefa_init
 from repro.core import DynOpt, Mode
 
-from _harness import compile_and_measure
+from _harness import compile_and_measure, emit_bench
 
 
 class TestBenchADI:
@@ -40,6 +40,14 @@ class TestBenchADI:
         benchmark.extra_info.update(
             naive_remaps=naive.remaps, optimized_remaps=opt.remaps
         )
+        emit_bench("adi_ablation", {
+            "naive": {"remaps": naive.remaps,
+                      "remap_bytes": naive.remap_bytes,
+                      "time_ms": naive.time_ms},
+            "optimized": {"remaps": opt.remaps,
+                          "remap_bytes": opt.remap_bytes,
+                          "time_ms": opt.time_ms},
+        })
         paper_table(
             "ADI phase computation (§6): remapping traffic, n=24, 4 steps, "
             "P=4",

@@ -17,6 +17,8 @@ from repro.apps import (
 )
 from repro.core import Mode, Options, compile_program
 
+from _harness import emit_bench
+
 CASES = [
     ("fig4", FIG4),
     ("stencil2d", stencil2d_source(64, 4)),
@@ -66,5 +68,8 @@ def test_bench_compile_scales_with_procedures(benchmark, paper_table):
             for k, t in timings.items()]
     paper_table("Compiler throughput vs call-chain length",
                 "chain size / time", rows)
+    emit_bench("compiler_speed", {
+        "chain_compile_ms": {str(k): t * 1000 for k, t in timings.items()},
+    })
     # superlinear blowup guard: 8x procedures < 40x time
     assert timings[32] < 40 * max(timings[4], 1e-3)

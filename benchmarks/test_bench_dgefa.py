@@ -25,7 +25,7 @@ from repro.apps import (
 from repro.core import Mode
 from repro.machine import IPSC860, Machine
 
-from _harness import compile_and_measure
+from _harness import compile_and_measure, emit_bench
 
 SIZES = [16, 32]
 PROCS = [2, 4]
@@ -96,6 +96,14 @@ def test_bench_dgefa_versions(benchmark, sweep, paper_table, mode):
             f"{st.guards:>9}"
         )
     paper_table("dgefa case study (§9): simulated iPSC/860", header, rows)
+    emit_bench("dgefa", {
+        f"n{nn}_P{pp}_{ver}": {
+            "time_ms": st.time_ms, "messages": st.messages,
+            "collectives": st.collectives, "bytes": st.total_bytes,
+            "guards": st.guards,
+        }
+        for (nn, pp, ver), st in sorted(sweep.items())
+    })
 
 
 class TestShape:

@@ -16,7 +16,7 @@ from repro.apps import FIG4
 from repro.core import Mode
 from repro.lang import ast as A
 
-from _harness import STATS_HEADER, compile_and_measure, stats_row
+from _harness import STATS_HEADER, compile_and_measure, emit_bench, stats_row
 
 
 @pytest.fixture(scope="module")
@@ -51,6 +51,12 @@ def test_bench_fig10_interprocedural(benchmark, measurements, paper_table):
     assert inter.messages == 3
     assert intra.messages == 300
     assert intra.bytes == inter.bytes
+    emit_bench("fig10_vs_fig12", {
+        "delayed": {"messages": inter.messages, "bytes": inter.bytes,
+                    "guards": inter.guards, "time_ms": inter.time_ms},
+        "immediate": {"messages": intra.messages, "bytes": intra.bytes,
+                      "guards": intra.guards, "time_ms": intra.time_ms},
+    })
 
 
 def test_bench_fig12_immediate(benchmark, measurements):

@@ -16,7 +16,7 @@ import pytest
 from repro.apps import FIG15
 from repro.core import DynOpt, Mode
 
-from _harness import compile_and_measure
+from _harness import compile_and_measure, emit_bench
 
 LEVELS = [
     (DynOpt.NONE, "16a no optimization", 40),
@@ -59,6 +59,12 @@ def test_bench_fig16_level(benchmark, ladder, paper_table, dyn, label,
         "(Figure 15 program, T=10, P=4)",
         header, rows,
     )
+    emit_bench("fig16_dynamic", {
+        lab.split()[0]: {"remaps": st.remaps,
+                         "remap_bytes": st.remap_bytes,
+                         "time_ms": st.time_ms}
+        for _d, (lab, _e, _c, st) in ladder.items()
+    })
 
 
 class TestShape:

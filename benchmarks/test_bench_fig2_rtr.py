@@ -17,7 +17,7 @@ import pytest
 from repro.apps import FIG1
 from repro.core import Mode
 
-from _harness import STATS_HEADER, compile_and_measure, stats_row
+from _harness import STATS_HEADER, compile_and_measure, emit_bench, stats_row
 
 
 @pytest.fixture(scope="module")
@@ -49,6 +49,11 @@ def test_bench_fig2_compile_time(benchmark, measurements, paper_table):
             stats_row("run-time res. (Fig. 3)", measurements[Mode.RTR]),
         ],
     )
+    emit_bench("fig2_rtr", {
+        mode.value: {"time_ms": st.time_ms, "messages": st.messages,
+                     "bytes": st.bytes, "guards": st.guards}
+        for mode, st in measurements.items()
+    })
 
 
 def test_bench_fig3_runtime_resolution(benchmark, measurements):

@@ -5,8 +5,8 @@ execution engine compiles innermost affine loop nests to numpy slice
 assignments; this bench reports end-to-end elements/second on the 1-D
 relaxation app for both execution paths, sequentially (pure interpreter
 throughput) and under the full SPMD simulation (threads + virtual
-network), and writes the numbers to ``BENCH_interp.json`` next to this
-file.
+network), and writes the numbers to ``BENCH_interp.json`` at the repo
+root.
 
 The two paths produce bit-identical arrays and RunStats (enforced by
 ``tests/test_vectorize_differential.py``); the only difference allowed
@@ -15,9 +15,7 @@ here is wall-clock speed.
 
 from __future__ import annotations
 
-import json
 import time
-from pathlib import Path
 
 import numpy as np
 import pytest
@@ -27,14 +25,14 @@ from repro.core import Mode, Options, compile_program
 from repro.interp import run_sequential
 from repro.lang import parse
 
+from _harness import emit_bench
+
 N = 2048
 STEPS = 8
 P = 4
 #: elements updated per run: STEPS time steps, two sweeps (smooth +
 #: copyback) over the interior
 ELEMS = STEPS * 2 * (N - 2)
-
-OUT = Path(__file__).with_name("BENCH_interp.json")
 
 
 def _eps(seconds: float) -> float:
@@ -106,7 +104,7 @@ def _report(benchmark, measured, paper_table):
             "speedup": slow / fast,
         }
     benchmark.extra_info.update(payload)
-    OUT.write_text(json.dumps(payload, indent=2) + "\n")
+    emit_bench("interp", payload)
     paper_table(
         f"Interpreter throughput: relax({N}) x {STEPS} steps "
         f"(elements/second, scalar vs vectorized)",

@@ -16,6 +16,8 @@ from repro.apps import dgefa_reference_lu, dgefa_source, make_dgefa_init
 from repro.core import Mode, Options, compile_program
 from repro.machine import IPSC860
 
+from _harness import emit_bench
+
 
 def run_layout(layout: str, n: int, P: int):
     init = make_dgefa_init(n)
@@ -61,6 +63,12 @@ def test_bench_dgefa_layouts(benchmark, layouts, paper_table):
     )
     benchmark.extra_info["imbalance_cyclic"] = layouts[("cyclic", 4)].load_imbalance
     benchmark.extra_info["imbalance_block"] = layouts[("block", 4)].load_imbalance
+    emit_bench("layout", {
+        f"{layout}_P{P}": {"time_ms": s.time_ms,
+                           "load_imbalance": s.load_imbalance,
+                           "collectives": s.collectives}
+        for (layout, P), s in sorted(layouts.items())
+    })
 
 
 class TestShape:

@@ -23,7 +23,7 @@ from repro.dist import Distribution
 from repro.lang import parse
 from repro.lang.ast import DistSpec
 
-from _harness import compile_and_measure
+from _harness import compile_and_measure, emit_bench
 
 PROGRAMS = [
     ("fig1", FIG1, "x"),
@@ -61,6 +61,14 @@ def test_bench_overlap_estimation(benchmark, paper_table):
         rows,
     )
     benchmark.extra_info["programs"] = len(results)
+    emit_bench("overlaps", {
+        name: {
+            f"{proc}.{arr}": {"estimate": str(est.per_proc.get((proc, arr))),
+                              "actual": str(offs)}
+            for (proc, arr), offs in sorted(actual.items())
+        }
+        for name, (est, actual, _v) in results.items()
+    })
 
 
 def test_bench_fig14_parameterized_overlaps(benchmark, paper_table):

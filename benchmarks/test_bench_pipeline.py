@@ -17,6 +17,8 @@ from repro.interp import run_sequential
 from repro.lang import parse
 from repro.machine import IPSC860
 
+from _harness import emit_bench
+
 N, D, P = 128, 8, 4
 
 BACKWARD = (
@@ -68,6 +70,11 @@ def test_bench_pipeline(benchmark, measurements, paper_table):
         sim_time_ms=s.time_ms, messages=s.messages
     )
     assert s.messages == P - 1
+    emit_bench("pipeline", {
+        label: {"time_ms": st.time_ms, "messages": st.messages,
+                "guards": st.guards, "bytes": st.bytes}
+        for label, st in measurements.items()
+    })
 
 
 class TestShape:

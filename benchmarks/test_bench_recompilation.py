@@ -20,6 +20,8 @@ from repro.interp import run_sequential
 from repro.lang import parse
 from repro.machine import FREE
 
+from _harness import emit_bench
+
 BASE = """
 program p
 real x(120), y(120)
@@ -94,6 +96,12 @@ def test_bench_recompilation_session(benchmark, paper_table):
     benchmark.extra_info.update(
         rebuilt=total, whole_program=whole_program
     )
+    emit_bench("recompilation", {
+        "rebuilt_total": total,
+        "whole_program_rebuilds": whole_program,
+        "edits": {label: {"rebuilt": rec, "reused": reused}
+                  for label, rec, reused in history},
+    })
     # the shape: separate compilation pays — far fewer rebuilds
     assert total < whole_program / 1.5
 

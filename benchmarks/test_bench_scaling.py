@@ -29,6 +29,8 @@ from repro.interp import run_sequential
 from repro.lang import parse
 from repro.machine import FAST_NETWORK, IPSC860
 
+from _harness import emit_bench
+
 PROCS = [1, 2, 4, 8]
 
 
@@ -81,10 +83,14 @@ def test_bench_scaling(benchmark, curves, paper_table):
         "workload       speedup",
         rows,
     )
+    payload = {}
     for name, curve in curves.items():
-        benchmark.extra_info[name.replace("/", "_")] = {
+        speedups = {
             str(P): round(curve[1] / t, 2) for P, t in curve.items()
         }
+        benchmark.extra_info[name.replace("/", "_")] = speedups
+        payload[name.replace("/", "_")] = speedups
+    emit_bench("scaling", payload)
 
 
 class TestShape:

@@ -24,6 +24,8 @@ from repro.machine import FAST_NETWORK, FREE, IPSC860
 
 import numpy as np
 
+from _harness import emit_bench
+
 MODELS = [("ipsc860", IPSC860), ("fast", FAST_NETWORK), ("free", FREE)]
 
 
@@ -77,6 +79,17 @@ def test_bench_cost_sensitivity(benchmark, sweep, paper_table):
         rows,
     )
     benchmark.extra_info["models"] = len(MODELS)
+    emit_bench("sensitivity", {
+        f"{prog}_{label}": {
+            "inter_time_ms": sweep[(prog, label, Mode.INTER)].time_ms,
+            "intra_rel": sweep[(prog, label, Mode.INTRA)].time_us
+            / max(sweep[(prog, label, Mode.INTER)].time_us, 1e-9),
+            "rtr_rel": sweep[(prog, label, Mode.RTR)].time_us
+            / max(sweep[(prog, label, Mode.INTER)].time_us, 1e-9),
+        }
+        for prog in ("fig4", "dgefa")
+        for label, _cost in MODELS
+    })
 
 
 class TestShape:

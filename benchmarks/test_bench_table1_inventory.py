@@ -19,7 +19,7 @@ from repro.core.overlaps import estimate_overlaps
 from repro.core.reaching import compute_reaching
 from repro.lang import parse
 
-from _harness import compile_and_measure
+from _harness import compile_and_measure, emit_bench
 
 
 #: Table 1 rows: (problem, phase, direction, how this repo solves it)
@@ -113,3 +113,8 @@ def test_bench_table1_inventory(benchmark, paper_table):
         rows,
     )
     benchmark.extra_info["problems_verified"] = len(TABLE1)
+    emit_bench("table1_inventory", {
+        problem: {"phase": phase, "direction": direction,
+                  "demonstrated": bool(evidence.get(problem, False))}
+        for problem, phase, direction, _how in TABLE1
+    })

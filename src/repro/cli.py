@@ -57,6 +57,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fault-seed", type=int, default=0,
                    help="seed for the fault plan (default 0; also via "
                         "REPRO_FAULT_SEED)")
+    p.add_argument("--scheduler", choices=["coop", "threads"], default=None,
+                   help="with --run: simulation backend — 'coop' is the "
+                        "single-threaded run-to-block scheduler (default), "
+                        "'threads' the thread-per-rank oracle (also via "
+                        "REPRO_SCHEDULER)")
     p.add_argument("--timeout", type=float, default=None, metavar="S",
                    help="wall-clock safety-net timeout in seconds "
                         "(default REPRO_SIM_TIMEOUT or 60; deadlocks "
@@ -179,11 +184,14 @@ def main(argv: list[str] | None = None) -> int:
                 return 2
         try:
             res = cp.run(cost=COSTS[args.cost], faults=faults,
-                         timeout_s=args.timeout)
+                         timeout_s=args.timeout,
+                         scheduler=args.scheduler)
         except SimulationError as e:
             print(f"fdc: simulation failed: {e}", file=sys.stderr)
             return 1
         print(f"! {res.stats.summary()}")
+        if args.report:
+            print(f"! {res.stats.sched_summary()}")
         for line in res.prints:
             print(line)
         if args.gather:

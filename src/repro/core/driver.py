@@ -68,11 +68,13 @@ class CompiledProgram:
         init_fn=None,
         vectorize: Optional[bool] = None,
         faults=None,
+        scheduler: Optional[str] = None,
     ) -> SPMDResult:
         """Execute on the simulated machine.  *timeout_s* defaults to
         ``REPRO_SIM_TIMEOUT`` (else 60 s); *faults* is an optional
         :class:`~repro.machine.faults.FaultPlan` (``REPRO_FAULTS`` when
-        None)."""
+        None); *scheduler* selects the simulation backend
+        (``REPRO_SCHEDULER`` or ``"coop"`` when None)."""
         from ..interp.interpreter import default_init
 
         return run_spmd(
@@ -84,6 +86,7 @@ class CompiledProgram:
             timeout_s=timeout_s,
             vectorize=vectorize,
             faults=faults,
+            scheduler=scheduler,
         )
 
     def text(self) -> str:

@@ -23,6 +23,7 @@ Semantics notes
 
 from __future__ import annotations
 
+import os
 from typing import Callable, Optional
 
 import numpy as np
@@ -35,6 +36,15 @@ from ..machine.costmodel import CostModel, IPSC860
 from ..runtime.intrinsics import PURE_INTRINSICS
 from ..runtime.remap import mark_array, remap_array
 from .arrays import FArray
+
+
+def comm_cache_enabled(flag: Optional[bool] = None) -> bool:
+    """Communication-schedule caching: on unless ``REPRO_COMM_CACHE=0``."""
+    if flag is not None:
+        return flag
+    return os.environ.get("REPRO_COMM_CACHE", "").strip().lower() not in (
+        "0", "false", "no", "off"
+    )
 
 
 class InterpError(Exception):
@@ -101,6 +111,9 @@ class Interpreter:
         self.init_fn = init_fn
         self.init_main_arrays = init_main_arrays
         self.vectorize = _vec_enabled(vectorize)
+        self.comm_cache = comm_cache_enabled()
+        self.comm_cache_hits = 0
+        self.comm_cache_misses = 0
         self.prints: list[str] = []
         self._compiled: dict[str, list[StmtFn]] = {}
         self._param_env: dict[str, dict[str, float | int]] = {}
@@ -656,19 +669,65 @@ class Interpreter:
                 out.append(s)
         return out
 
+    def _comm_entry(
+        self, cache: dict, arr: FArray, raw: list
+    ) -> tuple[Optional[np.ndarray], tuple, int]:
+        """Memoized resolution of one communication section.
+
+        Maps the raw section values of a ``CommAction`` execution to
+        ``(view, slices, nbytes)``: the numpy view of the section (None
+        for a single element), the index tuple, and the payload size.
+        Steady-state iterations of a compiled comm statement re-derive
+        nothing — a dict probe replaces whole-dim resolution, bounds
+        checks, and index arithmetic.  Caching the *view* is safe
+        because ``FArray.data`` is allocated exactly once and the
+        section depends only on the immutable bounds and the key.
+        """
+        key = (arr, tuple(raw))
+        entry = cache.get(key)
+        if entry is not None:
+            self.comm_cache_hits += 1
+            return entry
+        self.comm_cache_misses += 1
+        subs = self._resolve_whole_dims(arr, raw)
+        slices = arr._slices(subs)
+        view = arr.data[slices]
+        if not isinstance(view, np.ndarray):
+            view = None  # single element: index directly, not via a view
+        entry = (view, slices, arr.section_bytes(subs))
+        if self.comm_cache:
+            cache[key] = entry
+        return entry
+
+    @staticmethod
+    def _write_entry(arr: FArray, view: Optional[np.ndarray],
+                     slices: tuple, payload) -> None:
+        """``FArray.write_section`` against a cached entry."""
+        if view is None:
+            arr.data[slices] = payload
+            return
+        payload = np.asarray(payload)
+        if payload.shape != view.shape:
+            payload = payload.reshape(view.shape)
+        view[...] = payload
+
     def _compile_comm(self, s: A.Stmt, unit: A.Procedure) -> StmtFn:
         section_fn = self._compile_section(s.subs, unit)
         name = s.array
         tag = s.tag
+        cache: dict = {}
         if isinstance(s, A.Send):
             dest_fn = self._compile_expr(s.dest, unit)
 
             def run_send(fr: Frame):
                 arr = fr.arrays[name]
-                subs = self._resolve_whole_dims(arr, section_fn(fr))
-                payload = arr.read_section(subs)
-                self.ctx.send(int(dest_fn(fr)), tag, payload,
-                              payload.size * arr.element_bytes)
+                view, slices, nbytes = self._comm_entry(
+                    cache, arr, section_fn(fr)
+                )
+                # np scalars are immutable values, safe to send uncopied
+                payload = view.copy() if view is not None \
+                    else arr.data[slices]
+                self.ctx.send(int(dest_fn(fr)), tag, payload, nbytes)
 
             return run_send
         if isinstance(s, A.Recv):
@@ -676,9 +735,11 @@ class Interpreter:
 
             def run_recv(fr: Frame):
                 arr = fr.arrays[name]
-                subs = self._resolve_whole_dims(arr, section_fn(fr))
+                view, slices, _nbytes = self._comm_entry(
+                    cache, arr, section_fn(fr)
+                )
                 payload = self.ctx.recv(int(src_fn(fr)), tag)
-                arr.write_section(subs, payload)
+                self._write_entry(arr, view, slices, payload)
 
             return run_recv
         # broadcast
@@ -686,21 +747,25 @@ class Interpreter:
 
         def run_bcast(fr: Frame):
             arr = fr.arrays[name]
-            subs = self._resolve_whole_dims(arr, section_fn(fr))
+            view, slices, nbytes = self._comm_entry(
+                cache, arr, section_fn(fr)
+            )
             root = int(root_fn(fr))
             me = self.ctx.rank
-            nbytes = arr.section_bytes(subs)
             if me == root:
                 # zero-copy: the collective's consume rendezvous keeps
                 # every consumer's copy ahead of any mutation of the
                 # source, so the root can pass a view of its own array
                 self.ctx.broadcast(
-                    root, arr.read_section(subs, copy=False), nbytes
+                    root, view if view is not None else arr.data[slices],
+                    nbytes,
                 )
             else:
                 self.ctx.broadcast(
                     root, None, nbytes,
-                    consume=lambda data: arr.write_section(subs, data),
+                    consume=lambda data: self._write_entry(
+                        arr, view, slices, data
+                    ),
                 )
 
         return run_bcast
@@ -709,7 +774,7 @@ class Interpreter:
         """Aggregated multi-section messages (SendPack/RecvPack): all
         parts travel as one message (one startup charge)."""
         part_fns = [
-            (array, self._compile_section(list(subs), unit))
+            (array, self._compile_section(list(subs), unit), {})
             for array, subs in s.parts
         ]
         tag = s.tag
@@ -719,12 +784,16 @@ class Interpreter:
             def run_sendpack(fr: Frame):
                 payloads = []
                 nbytes = 0
-                for array, sec_fn in part_fns:
+                for array, sec_fn, cache in part_fns:
                     arr = fr.arrays[array]
-                    subs = self._resolve_whole_dims(arr, sec_fn(fr))
-                    data = arr.read_section(subs)
-                    payloads.append(data)
-                    nbytes += data.size * arr.element_bytes
+                    view, slices, nb = self._comm_entry(
+                        cache, arr, sec_fn(fr)
+                    )
+                    payloads.append(
+                        view.copy() if view is not None
+                        else arr.data[slices]
+                    )
+                    nbytes += nb
                 self.ctx.send(int(dest_fn(fr)), tag, payloads, nbytes)
 
             return run_sendpack
@@ -732,10 +801,10 @@ class Interpreter:
 
         def run_recvpack(fr: Frame):
             payloads = self.ctx.recv(int(src_fn(fr)), tag)
-            for (array, sec_fn), data in zip(part_fns, payloads):
+            for (array, sec_fn, cache), data in zip(part_fns, payloads):
                 arr = fr.arrays[array]
-                subs = self._resolve_whole_dims(arr, sec_fn(fr))
-                arr.write_section(subs, data)
+                view, slices, _nb = self._comm_entry(cache, arr, sec_fn(fr))
+                self._write_entry(arr, view, slices, data)
 
         return run_recvpack
 
@@ -861,15 +930,19 @@ def run_spmd(
     timeout_s: Optional[float] = None,
     vectorize: Optional[bool] = None,
     faults=None,
+    scheduler: Optional[str] = None,
 ) -> SPMDResult:
     """Run a compiled SPMD node program on the simulated machine.
 
     *timeout_s* is the wall-clock safety net (``REPRO_SIM_TIMEOUT`` or
     60 s when None; deadlocks are normally detected instantly).
     *faults* is an optional :class:`~repro.machine.faults.FaultPlan`
-    (``REPRO_FAULTS`` when None).
+    (``REPRO_FAULTS`` when None).  *scheduler* selects the simulation
+    backend (``REPRO_SCHEDULER`` or the cooperative scheduler when
+    None).
     """
-    machine = Machine(nprocs, cost, timeout_s, faults=faults)
+    machine = Machine(nprocs, cost, timeout_s, faults=faults,
+                      scheduler=scheduler)
     prints: list[str] = []
 
     def node(ctx: ProcContext) -> Frame:
@@ -878,6 +951,9 @@ def run_spmd(
             vectorize=vectorize,
         )
         frame = interp.run()
+        ctx.stats.record_comm_cache(
+            interp.comm_cache_hits, interp.comm_cache_misses
+        )
         prints.extend(interp.prints)
         return frame
 

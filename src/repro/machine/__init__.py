@@ -5,9 +5,21 @@ from .deadlock import DeadlockDetector, DeadlockReport, RankWait
 from .faults import FaultPlan
 from .machine import Machine, ProcContext
 from .network import DeadlockError, Network, SimulationError
+from .scheduler import (
+    SCHEDULERS,
+    CoopCollectives,
+    CoopNetwork,
+    CoopScheduler,
+    resolve_scheduler,
+)
 from .stats import RunStats
 
 __all__ = [
+    "SCHEDULERS",
+    "CoopCollectives",
+    "CoopNetwork",
+    "CoopScheduler",
+    "resolve_scheduler",
     "CostModel",
     "IPSC860",
     "FAST_NETWORK",

@@ -100,6 +100,45 @@ class DeadlockReport:
         return self.describe()
 
 
+def build_report(states, details, clocks, pending_of=None) -> DeadlockReport:
+    """Assemble a :class:`DeadlockReport` from per-rank state arrays.
+
+    Shared by the thread-backend :class:`DeadlockDetector` and the
+    cooperative scheduler so both produce byte-identical diagnoses: the
+    same ``waits`` snapshot, the same ``pending`` summaries (*pending_of*
+    maps a rank to its queued-but-unmatched keys) and the same one-line
+    ``reason`` strings.
+    """
+    rep = DeadlockReport()
+    nprocs = len(states)
+    for r in range(nprocs):
+        rep.waits.append(RankWait(r, states[r], details[r], clocks[r]))
+    if pending_of is not None:
+        for r in range(nprocs):
+            keys = pending_of(r)
+            if keys:
+                rep.pending[r] = keys
+    blocked = [r for r, s in enumerate(states)
+               if s in (BLOCKED_RECV, BLOCKED_COLLECTIVE)]
+    gone = [r for r, s in enumerate(states) if s in (FINISHED, FAILED)]
+    recv_waiters = [r for r in blocked if states[r] == BLOCKED_RECV]
+    if recv_waiters:
+        keys = ", ".join(
+            f"rank {r} <- (src={details[r][0]}, "
+            f"tag={details[r][1]})" for r in recv_waiters
+        )
+        rep.reason = (
+            f"every live rank is blocked and no in-flight message "
+            f"matches any awaited key ({keys})"
+        )
+    else:
+        rep.reason = (
+            f"ranks {blocked} wait in a collective that ranks "
+            f"{gone} already left"
+        )
+    return rep
+
+
 class DeadlockDetector:
     """Tracks rank states and declares deadlock at the instant the last
     live rank blocks with nothing able to wake any waiter."""
@@ -203,21 +242,8 @@ class DeadlockDetector:
                 return None
         # collectives-only deadlock requires a missing participant;
         # with no receive waiter and no finished rank we returned above
-        rep = self._snapshot_locked()
-        if recv_waiters:
-            keys = ", ".join(
-                f"rank {r} <- (src={self._detail[r][0]}, "
-                f"tag={self._detail[r][1]})" for r in recv_waiters
-            )
-            rep.reason = (
-                f"every live rank is blocked and no in-flight message "
-                f"matches any awaited key ({keys})"
-            )
-        else:
-            rep.reason = (
-                f"ranks {blocked} wait in a collective that ranks "
-                f"{gone} already left"
-            )
+        rep = build_report(self._state, self._detail, self._clock,
+                           pending_of=net.pending_summary)
         self.report = rep
         return rep
 

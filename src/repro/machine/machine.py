@@ -1,12 +1,15 @@
 """The simulated MIMD distributed-memory machine.
 
-A :class:`Machine` runs one Python thread per node processor.  Each node
-sees a :class:`ProcContext` — its rank, virtual clock, and communication
-primitives — and runs the same node program (SPMD).  Exceptions on any
-node abort the whole run: the remaining ranks are signalled and raise at
-their next network operation, every node thread is joined with a bound,
-and the *first* failure by virtual time is re-raised on the caller's
-thread (secondary teardown aborts never shadow the primary error).
+A :class:`Machine` runs the same node program (SPMD) on every simulated
+processor; each node sees a :class:`ProcContext` — its rank, virtual
+clock, and communication primitives.  The default backend is the
+cooperative run-to-block scheduler (:mod:`repro.machine.scheduler`);
+``scheduler="threads"`` selects the free-running thread-per-rank oracle.
+Exceptions on any node abort the whole run: the remaining ranks are
+signalled and raise at their next network operation, every node thread
+is joined with a bound, and the *first* failure by virtual time is
+re-raised on the caller's thread (secondary teardown aborts never shadow
+the primary error).
 
 Resilience hooks:
 
@@ -33,6 +36,12 @@ from .network import (
     CollectiveContext,
     Network,
     SimulationError,
+)
+from .scheduler import (
+    CoopCollectives,
+    CoopNetwork,
+    CoopScheduler,
+    resolve_scheduler,
 )
 from .stats import RunStats
 
@@ -182,7 +191,21 @@ class ProcContext:
 
 
 class Machine:
-    """P simulated node processors plus network and collectives."""
+    """P simulated node processors plus network and collectives.
+
+    Two interchangeable backends drive the node programs (selected via
+    ``scheduler=`` / ``REPRO_SCHEDULER``, default ``coop``):
+
+    * ``coop`` — the cooperative run-to-block scheduler
+      (:mod:`repro.machine.scheduler`): one rank executes at a time,
+      dispatched in deterministic (virtual time, rank) order, with no
+      locks and single-rendezvous collectives;
+    * ``threads`` — the free-running thread-per-rank oracle.
+
+    Results, virtual clocks, and message/byte statistics are
+    bit-identical across backends (virtual time is dataflow-determined;
+    ``tests/test_scheduler_differential.py`` enforces it).
+    """
 
     def __init__(
         self,
@@ -190,23 +213,38 @@ class Machine:
         cost: CostModel = IPSC860,
         timeout_s: Optional[float] = None,
         faults: Optional[FaultPlan] = None,
+        scheduler: Optional[str] = None,
     ) -> None:
         if nprocs < 1:
             raise ValueError("need at least one processor")
         self.nprocs = nprocs
         self.cost = cost
         self.faults = faults if faults is not None else FaultPlan.from_env()
-        self.stats = RunStats(nprocs=nprocs)
-        self.detector = DeadlockDetector(nprocs)
-        self.network = Network(
-            nprocs, cost, self.stats, timeout_s,
-            faults=self.faults, detector=self.detector,
-        )
-        self.collectives = CollectiveContext(
-            nprocs, cost, self.stats, timeout_s,
-            detector=self.detector, network=self.network,
-        )
-        self.detector.attach(self.network, self._declare_failure)
+        self.scheduler = resolve_scheduler(scheduler)
+        self.stats = RunStats(nprocs=nprocs, scheduler=self.scheduler)
+        if self.scheduler == "coop":
+            self.detector = None
+            self._sched = CoopScheduler(nprocs, timeout_s)
+            self.network = CoopNetwork(
+                nprocs, cost, self.stats, timeout_s,
+                faults=self.faults, scheduler=self._sched,
+            )
+            self.collectives = CoopCollectives(
+                nprocs, cost, self.stats, self._sched,
+            )
+            self._sched.network = self.network
+        else:
+            self._sched = None
+            self.detector = DeadlockDetector(nprocs)
+            self.network = Network(
+                nprocs, cost, self.stats, timeout_s,
+                faults=self.faults, detector=self.detector,
+            )
+            self.collectives = CollectiveContext(
+                nprocs, cost, self.stats, timeout_s,
+                detector=self.detector, network=self.network,
+            )
+            self.detector.attach(self.network, self._declare_failure)
 
     def _declare_failure(self, report: DeadlockReport) -> None:
         """Deadlock declared: wake every blocked rank so the run tears
@@ -216,6 +254,8 @@ class Machine:
 
     @property
     def deadlock_report(self) -> Optional[DeadlockReport]:
+        if self._sched is not None:
+            return self._sched.report
         return self.detector.report
 
     def run(self, node_program: Callable[[ProcContext], Any]) -> list[Any]:
@@ -226,6 +266,18 @@ class Machine:
         first error *by virtual time* is re-raised (teardown aborts are
         only raised when no primary error exists).
         """
+        t0 = time.perf_counter()
+        try:
+            return self._run(node_program)
+        finally:
+            sched = self._sched
+            self.stats.record_run(
+                self.scheduler, time.perf_counter() - t0,
+                dispatches=sched.dispatches if sched else self.nprocs,
+                switches=sched.switches if sched else 0,
+            )
+
+    def _run(self, node_program: Callable[[ProcContext], Any]) -> list[Any]:
         contexts = [ProcContext(r, self) for r in range(self.nprocs)]
         results: list[Any] = [None] * self.nprocs
         #: (secondary, clock, rank, exc, tb) per failed rank
@@ -251,11 +303,20 @@ class Machine:
                 self.stats.record_proc_time(ctx.rank, ctx.clock)
                 self.stats.record_proc_work(ctx.rank, ctx.work)
                 # a finished/failed rank may leave peers unwakeable:
-                # let the detector declare that deadlock immediately
-                self.detector.finish(ctx.rank, ctx.clock, failed=failed)
+                # both backends declare that deadlock immediately (the
+                # coop scheduler also hands the CPU onward here)
+                if self._sched is not None:
+                    self._sched.finish(ctx.rank, ctx.clock, failed=failed)
+                else:
+                    self.detector.finish(ctx.rank, ctx.clock, failed=failed)
 
+        leaked: list[str] = []
         if self.nprocs == 1:
             runner(contexts[0])
+        elif self._sched is not None:
+            leaked = self._sched.run_fibers(
+                [lambda c=c: runner(c) for c in contexts]
+            )
         else:
             threads = [
                 threading.Thread(
@@ -278,10 +339,10 @@ class Machine:
                 for t in threads:
                     t.join(timeout=1.0)
                 leaked = [t.name for t in threads if t.is_alive()]
-                if leaked and not errors:
-                    raise SimulationError(
-                        f"node threads failed to terminate: {leaked}"
-                    )
+        if leaked and not errors:  # pragma: no cover - defensive
+            raise SimulationError(
+                f"node threads failed to terminate: {leaked}"
+            )
         if errors:
             # primary failures (real errors, deadlock declarations)
             # outrank secondary teardown aborts; ties break on virtual

@@ -71,6 +71,23 @@ class AbortError(SimulationError):
     failed first (the primary error is re-raised by ``Machine.run``)."""
 
 
+def combine_reduction(op: str, values: list) -> Any:
+    """Combine allreduce contributions, already ordered by rank — NOT by
+    thread arrival order — so floating-point reductions are
+    deterministic.  Shared by both scheduler backends."""
+    if op == "sum":
+        return sum(values)
+    if op == "max":
+        return max(values)
+    if op == "min":
+        return min(values)
+    if op == "maxloc":
+        # values are (magnitude, index) pairs; ties break to the
+        # smallest index for determinism
+        return max(values, key=lambda p: (p[0], -p[1]))
+    raise SimulationError(f"unknown reduction {op!r}")
+
+
 @dataclass
 class _Message:
     src: int
@@ -257,10 +274,20 @@ class Network:
 class CollectiveContext:
     """Rendezvous helper for collectives (broadcast / reduce / barrier).
 
-    SPMD programs execute collectives in the same order on every node, so
-    a reusable barrier plus a shared slot per phase suffices.  Virtual
-    time: all participants synchronize at ``max(clocks)`` then pay the
-    tree cost.
+    SPMD programs execute collectives in the same order on every node,
+    so a reusable barrier plus a shared slot per phase suffices.
+    Virtual time: all participants synchronize at ``max(clocks)`` then
+    pay the tree cost.
+
+    Each operation costs exactly **one** rendezvous: participants
+    deposit their contributions, and the barrier's action callback —
+    which runs in exactly one thread, before any waiter is released —
+    performs the whole completion (``max(clocks)``, the rank-ordered
+    reduction / broadcast consumption / exchange snapshot, the stats,
+    the slot cleanup) into shared result fields.  Those fields are
+    overwrite-safe without further locking because the *next* trip
+    cannot happen until every rank has re-entered the barrier, i.e.
+    has already read the previous result.
     """
 
     def __init__(self, nprocs: int, cost: CostModel, stats: RunStats,
@@ -273,15 +300,26 @@ class CollectiveContext:
         self.timeout_s = resolve_timeout(timeout_s)
         self.detector = detector
         self.network = network
-        # the action callback runs in exactly one thread when the
-        # barrier trips, before any waiter is released: it clears the
-        # waiters' blocked states so a rank finishing right after the
-        # rendezvous cannot observe them stale and cry deadlock
-        action = detector.release_collective if detector is not None else None
-        self._barrier = threading.Barrier(nprocs, action=action)
+        self._barrier = threading.Barrier(nprocs, action=self._trip)
         self._lock = threading.Lock()
         self._slots: dict[str, Any] = {}
         self._clocks: list[float] = [0.0] * nprocs
+        #: the op-specific completion; every participant of an operation
+        #: assigns an equivalent closure, so the racy writes are benign
+        self._complete: Any = None
+        self._result: Any = None
+        self._maxclock = 0.0
+
+    def _trip(self) -> None:
+        """Barrier action: runs once, before any waiter resumes.  The
+        detector release comes first so a rank finishing right after the
+        rendezvous cannot observe stale blocked states and cry
+        deadlock."""
+        if self.detector is not None:
+            self.detector.release_collective()
+        self._maxclock = max(self._clocks)
+        fn, self._complete = self._complete, None
+        self._result = fn() if fn is not None else None
 
     def abort(self) -> None:
         """Break the rendezvous so collective waiters unblock."""
@@ -324,27 +362,33 @@ class CollectiveContext:
         """All nodes call; returns (payload, new clock).
 
         When *consume* is given (a callable taking the broadcast data)
-        it runs *before* the final rendezvous, so the root may pass a
-        zero-copy view of its own array as *payload*: every consumer has
-        copied the data out before any participant — the root included —
-        can run on and mutate the source.
+        it runs inside the barrier action, before any participant
+        resumes, so the root may pass a zero-copy view of its own array
+        as *payload*: every consumer has copied the data out before any
+        participant — the root included — can run on and mutate the
+        source.
         """
         self._clocks[rank] = now
-        if rank == root:
-            with self._lock:
-                self._slots["bcast"] = payload
+        with self._lock:
+            slot = self._slots.setdefault("bcast", {"consume": []})
+            if rank == root:
+                slot["data"] = payload
+                slot["nbytes"] = nbytes
+            if consume is not None:
+                slot["consume"].append(consume)
+        self._complete = self._finish_bcast
         self._sync(rank, "bcast")
-        data = self._slots["bcast"]
-        t = max(self._clocks) + self.cost.collective_cost(self.nprocs, nbytes)
-        if consume is not None:
-            consume(data)
-        self._sync(rank, "bcast")
-        if rank == root:
-            self.stats.record_collective(nbytes)
-            with self._lock:
-                self._slots.pop("bcast", None)
-        self._sync(rank, "bcast")
-        return data, t
+        t = self._maxclock + self.cost.collective_cost(self.nprocs, nbytes)
+        return self._result, t
+
+    def _finish_bcast(self) -> Any:
+        with self._lock:
+            slot = self._slots.pop("bcast")
+        data = slot["data"]
+        for fn in slot["consume"]:
+            fn(data)
+        self.stats.record_collective(slot["nbytes"])
+        return data
 
     def allreduce(self, rank: int, value: Any, op: str, nbytes: int,
                   now: float) -> tuple[Any, float]:
@@ -356,70 +400,61 @@ class CollectiveContext:
         """
         self._clocks[rank] = now
         with self._lock:
-            self._slots.setdefault("reduce", {})[rank] = value
+            slot = self._slots.setdefault(
+                "reduce", {"values": {}, "op": op, "nbytes": nbytes}
+            )
+            slot["values"][rank] = value
+        self._complete = self._finish_reduce
         self._sync(rank, "reduce")
-        table = self._slots["reduce"]
-        values = [table[r] for r in range(self.nprocs)]
-        if op == "sum":
-            result = sum(values)
-        elif op == "max":
-            result = max(values)
-        elif op == "min":
-            result = min(values)
-        elif op == "maxloc":
-            # values are (magnitude, index) pairs; ties break to the
-            # smallest index for determinism
-            result = max(values, key=lambda p: (p[0], -p[1]))
-        else:
-            raise SimulationError(f"unknown reduction {op!r}")
-        t = max(self._clocks) + 2 * self.cost.collective_cost(
+        t = self._maxclock + 2 * self.cost.collective_cost(
             self.nprocs, nbytes
         )
-        self._sync(rank, "reduce")
-        if rank == 0:
-            self.stats.record_collective(nbytes * self.nprocs)
-            with self._lock:
-                self._slots.pop("reduce", None)
-        self._sync(rank, "reduce")
-        return result, t
+        return self._result, t
+
+    def _finish_reduce(self) -> Any:
+        with self._lock:
+            slot = self._slots.pop("reduce")
+        values = [slot["values"][r] for r in range(self.nprocs)]
+        result = combine_reduction(slot["op"], values)
+        self.stats.record_collective(slot["nbytes"] * self.nprocs)
+        return result
 
     def barrier(self, rank: int, now: float) -> float:
         self._clocks[rank] = now
         self._sync(rank, "barrier")
-        t = max(self._clocks) + self.cost.barrier_cost(self.nprocs)
-        self._sync(rank, "barrier")
-        return t
+        return self._maxclock + self.cost.barrier_cost(self.nprocs)
 
     def exchange(self, rank: int, outgoing: dict[int, Any], nbytes_out: int,
                  now: float) -> tuple[dict[int, Any], float]:
         """All-to-all personalized exchange (used by the remap runtime):
         each node contributes {dst: payload}; receives {src: payload}.
 
-        The pairwise transfers are real traffic: rank 0 records them
-        once into the point-to-point message/byte counts (one message
-        per (src, dst) pair with a payload, all contributed bytes).
+        The pairwise transfers are real traffic, recorded once into the
+        point-to-point message/byte counts (one message per (src, dst)
+        pair with a payload, all contributed bytes).
         """
         self._clocks[rank] = now
         with self._lock:
-            table = self._slots.setdefault("exchange", {})
-            table[rank] = (outgoing, nbytes_out)
+            self._slots.setdefault("exchange", {})[rank] = \
+                (outgoing, nbytes_out)
+        self._complete = self._finish_exchange
         self._sync(rank, "exchange")
-        table = self._slots["exchange"]
+        table = self._result
         incoming = {
             src: msgs[rank]
             for src, (msgs, _nb) in table.items()
             if rank in msgs
         }
-        t = max(self._clocks) + self.cost.collective_cost(
+        t = self._maxclock + self.cost.collective_cost(
             self.nprocs, max(nbytes_out, 1)
         )
-        self._sync(rank, "exchange")
-        if rank == 0:
-            nmsgs = sum(len(msgs) for msgs, _nb in table.values())
-            nbytes = sum(nb for _msgs, nb in table.values())
-            if nmsgs:
-                self.stats.record_exchange(nmsgs, nbytes)
-            with self._lock:
-                self._slots.pop("exchange", None)
-        self._sync(rank, "exchange")
         return incoming, t
+
+    def _finish_exchange(self) -> Any:
+        with self._lock:
+            table = self._slots.pop("exchange")
+        nmsgs = sum(len(msgs) for msgs, _nb in table.values())
+        nbytes = sum(nb for _msgs, nb in table.values())
+        if nmsgs:
+            self.stats.record_exchange(nmsgs, nbytes)
+        return table

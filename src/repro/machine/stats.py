@@ -33,6 +33,16 @@ class RunStats:
     #: excluding waiting -- exposes load imbalance that collective
     #: synchronization hides in the clocks)
     proc_work: dict[int, float] = field(default_factory=dict)
+    #: scheduler-backend bookkeeping (host-side observability; never
+    #: part of the simulated quantities above)
+    scheduler: str = ""          # backend that produced this run
+    wall_s: float = 0.0          # host wall clock of Machine.run
+    dispatches: int = 0          # rank dispatches (coop) / thread starts
+    switches: int = 0            # fiber context switches (coop only)
+    #: interpreter communication-schedule cache (resolved sections
+    #: memoized per CommAction per rank)
+    comm_cache_hits: int = 0
+    comm_cache_misses: int = 0
 
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
@@ -88,6 +98,21 @@ class RunStats:
         with self._lock:
             self.proc_work[rank] = ops
 
+    def record_run(self, scheduler: str, wall_s: float,
+                   dispatches: int = 0, switches: int = 0) -> None:
+        """Backend bookkeeping for one completed ``Machine.run``."""
+        with self._lock:
+            self.scheduler = scheduler
+            self.wall_s = wall_s
+            self.dispatches += dispatches
+            self.switches += switches
+
+    def record_comm_cache(self, hits: int, misses: int) -> None:
+        """One rank's communication-schedule cache counters."""
+        with self._lock:
+            self.comm_cache_hits += hits
+            self.comm_cache_misses += misses
+
     # -- reporting ---------------------------------------------------------
 
     @property
@@ -129,4 +154,15 @@ class RunStats:
             f"msgs={self.messages}  bytes={self.bytes}  "
             f"colls={self.collectives}  remaps={self.remaps}  "
             f"guards={self.guards}"
+        )
+
+    def sched_summary(self) -> str:
+        """Host-side scheduler line (``fdc --report``): which backend
+        ran, how long it took on the host, and how hard the dispatch
+        and comm-schedule-cache machinery worked."""
+        return (
+            f"scheduler={self.scheduler or '?'}  wall={self.wall_s:.3f} s  "
+            f"dispatches={self.dispatches}  switches={self.switches}  "
+            f"comm-cache={self.comm_cache_hits}/"
+            f"{self.comm_cache_hits + self.comm_cache_misses} hits"
         )

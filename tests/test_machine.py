@@ -9,6 +9,7 @@ import pytest
 from repro.machine import (
     FREE,
     IPSC860,
+    SCHEDULERS,
     CostModel,
     FaultPlan,
     Machine,
@@ -258,14 +259,21 @@ class TestCollectives:
 
 
 class TestDeadlockDiagnostics:
-    """Deadlocks are declared by the wait-for graph the instant they
-    become true — with a 60 s safety-net timeout, each case must still
-    fail well under a second and carry a structured report."""
+    """Deadlocks are declared the instant they become true — by the
+    wait-for graph on the thread backend, natively ("no rank runnable")
+    on the cooperative scheduler — with identical structured reports.
+    With a 60 s safety-net timeout, each case must still fail well
+    under a second on both backends."""
+
+    @pytest.fixture(autouse=True, params=SCHEDULERS, ids=list(SCHEDULERS))
+    def _backend(self, request):
+        self.scheduler = request.param
 
     def _deadlock(self, nprocs, prog):
         t0 = time.monotonic()
         with pytest.raises(SimulationError) as ei:
-            Machine(nprocs, FREE, timeout_s=60.0).run(prog)
+            Machine(nprocs, FREE, timeout_s=60.0,
+                    scheduler=self.scheduler).run(prog)
         assert time.monotonic() - t0 < 1.0, "detection was not instant"
         assert not node_threads(), "leaked node threads"
         report = ei.value.report
@@ -352,7 +360,8 @@ class TestDeadlockDiagnostics:
             return ctx.rank
 
         for _ in range(5):
-            assert Machine(3, FREE).run(prog) == [0, 1, 2]
+            assert Machine(3, FREE,
+                           scheduler=self.scheduler).run(prog) == [0, 1, 2]
         assert not node_threads()
 
     def test_report_describe_lists_every_rank(self):

@@ -1,0 +1,160 @@
+"""Cross-backend differential suite: coop scheduler vs thread oracle.
+
+The cooperative run-to-block scheduler must be an *invisible* change:
+virtual time is dataflow-determined (a recv completes at
+``max(own clock, arrival)``, a collective at ``max(participant
+clocks) + tree cost``), so per-rank arrays, virtual clocks, and
+delivery statistics are bit-identical whichever backend drives the
+ranks — under fault plans and under both execution paths.  This suite
+enforces that, plus determinism of the scheduler itself and the
+equivalence of the communication-schedule cache.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.apps.adi import adi_source
+from repro.apps.cg import cg_source
+from repro.apps.dgefa import dgefa_source, make_dgefa_init
+from repro.apps.stencil import stencil1d_source, stencil2d_source
+from repro.apps.wave import wave_source
+from repro.core.driver import compile_program
+from repro.core.options import Mode, Options
+from repro.machine import FaultPlan, Machine, resolve_scheduler
+
+#: statistics that must not depend on the backend (wall-clock and the
+#: scheduler counters themselves are exempt by definition)
+STAT_FIELDS = (
+    "messages", "bytes", "collectives", "collective_bytes",
+    "remaps", "remap_bytes", "guards",
+)
+
+CASES = [
+    ("stencil1d", stencil1d_source(128, 4), None),
+    ("stencil2d", stencil2d_source(24, 2), None),
+    ("adi", adi_source(32, 2), None),
+    ("cg", cg_source(32, 4), None),
+    ("dgefa", dgefa_source(16), make_dgefa_init(16)),
+    ("wave", wave_source(64, 4), None),
+]
+SEEDS = [1, 2, 3]
+
+
+def _chaos_plan(seed: int) -> FaultPlan:
+    return FaultPlan(seed=seed, delay_prob=0.5, delay_max_us=80.0,
+                     drop_prob=0.1, retry_timeout_us=50.0)
+
+
+def _run(cp, init, scheduler, **kw):
+    extra = {"init_fn": init} if init is not None else {}
+    return cp.run(timeout_s=30.0, scheduler=scheduler, **extra, **kw)
+
+
+def _assert_identical(a, b, label):
+    """Arrays, per-rank virtual clocks, and delivery stats must match
+    bit for bit."""
+    assert a.stats.proc_times == b.stats.proc_times, label
+    for f in STAT_FIELDS:
+        assert getattr(a.stats, f) == getattr(b.stats, f), (label, f)
+    for name in a.frames[0].arrays:
+        for rk, (fa, fb) in enumerate(zip(a.frames, b.frames)):
+            assert np.array_equal(
+                fa.arrays[name].data, fb.arrays[name].data,
+                equal_nan=True,
+            ), f"{label}: array {name} differs on rank {rk}"
+
+
+@pytest.mark.parametrize("vectorize", [False, True],
+                         ids=["scalar", "vectorized"])
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize(
+    "src,init", [c[1:] for c in CASES], ids=[c[0] for c in CASES]
+)
+def test_apps_bit_identical_across_backends(src, init, seed, vectorize):
+    cp = compile_program(src, Options(nprocs=4, mode=Mode.INTER))
+    plan = _chaos_plan(seed)
+    coop = _run(cp, init, "coop", faults=plan, vectorize=vectorize)
+    threads = _run(cp, init, "threads", faults=plan, vectorize=vectorize)
+    _assert_identical(coop, threads, f"seed={seed} vec={vectorize}")
+
+
+@pytest.mark.parametrize("mode", [Mode.INTER, Mode.RTR],
+                         ids=["inter", "rtr"])
+def test_modes_bit_identical_across_backends(mode):
+    """RTR's element-grain messaging stresses the comm path hardest."""
+    cp = compile_program(stencil1d_source(64, 2),
+                         Options(nprocs=4, mode=mode))
+    _assert_identical(
+        _run(cp, None, "coop"), _run(cp, None, "threads"), mode.value
+    )
+
+
+def test_coop_run_is_deterministic():
+    """Two coop runs agree on everything including the scheduler's own
+    counters — dispatch order is a pure function of (clock, rank)."""
+    cp = compile_program(stencil1d_source(128, 4),
+                         Options(nprocs=4, mode=Mode.INTER))
+    a = _run(cp, None, "coop", faults=_chaos_plan(1))
+    b = _run(cp, None, "coop", faults=_chaos_plan(1))
+    _assert_identical(a, b, "repeat")
+    assert a.stats.dispatches == b.stats.dispatches
+    assert a.stats.switches == b.stats.switches
+
+
+def test_comm_cache_equivalence(monkeypatch):
+    """The communication-schedule cache is a pure memoization: results
+    and statistics are identical with it disabled."""
+    cp = compile_program(stencil1d_source(128, 4),
+                         Options(nprocs=4, mode=Mode.INTER))
+    cached = _run(cp, None, "coop")
+    monkeypatch.setenv("REPRO_COMM_CACHE", "0")
+    uncached = _run(cp, None, "coop")
+    _assert_identical(cached, uncached, "comm-cache")
+    assert cached.stats.comm_cache_hits > 0
+    assert uncached.stats.comm_cache_hits == 0
+
+
+def test_scheduler_stats_surface():
+    cp = compile_program(stencil1d_source(64, 2),
+                         Options(nprocs=4, mode=Mode.INTER))
+    res = _run(cp, None, "coop")
+    s = res.stats
+    assert s.scheduler == "coop"
+    assert s.wall_s > 0.0
+    assert s.dispatches >= 4
+    assert s.switches > 0
+    line = s.sched_summary()
+    assert "scheduler=coop" in line and "dispatches=" in line
+
+
+def test_env_selects_backend(monkeypatch):
+    monkeypatch.delenv("REPRO_SCHEDULER", raising=False)
+    assert resolve_scheduler(None) == "coop"
+    monkeypatch.setenv("REPRO_SCHEDULER", "threads")
+    assert resolve_scheduler(None) == "threads"
+    assert Machine(2).scheduler == "threads"
+    # an explicit argument wins over the environment
+    assert resolve_scheduler("coop") == "coop"
+    assert Machine(2, scheduler="coop").scheduler == "coop"
+    with pytest.raises(ValueError, match="unknown scheduler"):
+        resolve_scheduler("fibers")
+
+
+def test_cli_scheduler_flag(tmp_path, capsys):
+    from repro.cli import main
+
+    f = tmp_path / "prog.fd"
+    f.write_text(stencil1d_source(64, 2))
+    rc = main([str(f), "--run", "--no-text", "--report",
+               "--scheduler", "coop"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "scheduler=coop" in out
+    rc = main([str(f), "--run", "--no-text", "--report",
+               "--scheduler", "threads"])
+    assert rc == 0
+    assert "scheduler=threads" in capsys.readouterr().out
