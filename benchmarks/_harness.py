@@ -65,9 +65,13 @@ def compile_and_measure(
 
 
 def stats_row(label: str, s, extra: str = "") -> str:
+    """One printed table row from a RunStats (via its as_dict() snapshot,
+    the same machine-readable form ``fdc --stats-json`` writes)."""
+    d = s.as_dict()
     return (
-        f"{label:<26} {s.time_ms:>10.3f} {s.messages:>7} "
-        f"{s.collectives:>6} {s.total_bytes:>10} {s.guards:>8} {extra}"
+        f"{label:<26} {d['time_ms']:>10.3f} {d['messages']:>7} "
+        f"{d['collectives']:>6} {d['total_bytes']:>10} {d['guards']:>8} "
+        f"{extra}"
     )
 
 

@@ -131,10 +131,7 @@ def test_bench_simcore(benchmark, sweep, paper_table):
         payload["configs"][f"{app}_P{P}_{sched}"] = {
             "wall_s": m["wall_s"],
             "wall_per_rank_ms": m["wall_per_rank_ms"],
-            "dispatches": s.dispatches,
-            "switches": s.switches,
-            "comm_cache_hits": s.comm_cache_hits,
-            "comm_cache_misses": s.comm_cache_misses,
+            "stats": s.as_dict(),
         }
     ratios = {
         "stencil_P16_threads_over_coop": _ratio(sweep, "stencil", 16),

@@ -31,6 +31,7 @@ from .core import (
 from .interp import SPMDResult, run_sequential, run_spmd
 from .lang import parse, program_str
 from .machine import FAST_NETWORK, FREE, IPSC860, CostModel, Machine
+from .obs import Tracer, profile_report, write_chrome_trace
 
 __version__ = "0.1.0"
 
@@ -53,5 +54,8 @@ __all__ = [
     "IPSC860",
     "FAST_NETWORK",
     "FREE",
+    "Tracer",
+    "write_chrome_trace",
+    "profile_report",
     "__version__",
 ]

@@ -9,6 +9,9 @@ Usage::
     fdc program.fd --report              # compilation decisions
     fdc program.fd --localize f1         # Figure-2-style local view
     fdc program.fd --sequential          # reference run of the source
+    fdc program.fd --trace out.json      # Chrome/Perfetto event trace
+    fdc program.fd --profile             # comm hot spots + critical path
+    fdc program.fd --run --stats-json s.json
 
 (also available as ``python -m repro.cli``)
 """
@@ -16,6 +19,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 import numpy as np
@@ -26,6 +30,7 @@ from .dist import Distribution
 from .interp import run_sequential
 from .lang import parse
 from .machine import FAST_NETWORK, FREE, IPSC860, FaultPlan, SimulationError
+from .obs import Tracer, profile_report, write_chrome_trace
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -85,6 +90,16 @@ def build_parser() -> argparse.ArgumentParser:
                         "declarations (block distributions)")
     p.add_argument("--no-text", action="store_true",
                    help="suppress printing the node program")
+    p.add_argument("--trace", metavar="FILE",
+                   help="record compiler phases and simulation events, "
+                        "write a Chrome trace-event JSON loadable in "
+                        "Perfetto (implies --run)")
+    p.add_argument("--profile", action="store_true",
+                   help="print communication hot spots, the rank x rank "
+                        "message matrix, and the virtual-time critical "
+                        "path (implies --run)")
+    p.add_argument("--stats-json", metavar="FILE",
+                   help="with --run: write RunStats.as_dict() as JSON")
     return p
 
 
@@ -113,6 +128,10 @@ def main(argv: list[str] | None = None) -> int:
                   f"sum={float(arr.data.sum()):.6g}")
         return 0
 
+    if args.trace or args.profile:
+        args.run = True
+    tracer = Tracer() if (args.trace or args.profile) else None
+
     opts = Options(
         nprocs=args.nprocs,
         mode=Mode(args.mode),
@@ -120,7 +139,7 @@ def main(argv: list[str] | None = None) -> int:
         strict=args.strict,
     )
     try:
-        cp = compile_program(source, opts)
+        cp = compile_program(source, opts, trace=tracer)
     except Exception as e:  # surface compile errors with a clean message
         print(f"fdc: compilation failed: {e}", file=sys.stderr)
         return 1
@@ -129,12 +148,14 @@ def main(argv: list[str] | None = None) -> int:
         print(cp.text())
 
     if args.report:
+        # iteration orders are sorted so the report is byte-identical
+        # across runs regardless of dict insertion order
         r = cp.report
         print(f"! mode={r.mode.value} nprocs={r.nprocs}")
-        for proc, dists in r.distributions.items():
-            for arr, d in dists.items():
+        for proc, dists in sorted(r.distributions.items()):
+            for arr, d in sorted(dists.items()):
                 print(f"! dist {proc}.{arr}: {d}")
-        for base, clones in r.cloned.items():
+        for base, clones in sorted(r.cloned.items()):
             print(f"! cloned {base} -> {', '.join(clones)}")
         for line in r.comm_placements:
             print(f"! comm {line}")
@@ -146,7 +167,7 @@ def main(argv: list[str] | None = None) -> int:
             print(f"! remaps emitted={r.remaps_emitted} "
                   f"eliminated={r.remaps_eliminated} "
                   f"hoisted={r.remaps_hoisted} marked={r.remaps_marked}")
-        for (proc, arr), offs in r.overlaps.items():
+        for (proc, arr), offs in sorted(r.overlaps.items()):
             print(f"! overlap {proc}.{arr}: {offs}")
 
     if args.localize:
@@ -185,13 +206,24 @@ def main(argv: list[str] | None = None) -> int:
         try:
             res = cp.run(cost=COSTS[args.cost], faults=faults,
                          timeout_s=args.timeout,
-                         scheduler=args.scheduler)
+                         scheduler=args.scheduler,
+                         trace=tracer)
         except SimulationError as e:
             print(f"fdc: simulation failed: {e}", file=sys.stderr)
             return 1
         print(f"! {res.stats.summary()}")
         if args.report:
             print(f"! {res.stats.sched_summary()}")
+        if args.stats_json:
+            with open(args.stats_json, "w") as f:
+                json.dump(res.stats.as_dict(), f, indent=2, sort_keys=True)
+                f.write("\n")
+        if args.trace:
+            write_chrome_trace(tracer, args.trace)
+            print(f"! trace: {tracer.event_count()} events -> "
+                  f"{args.trace} (chrome://tracing or ui.perfetto.dev)")
+        if args.profile:
+            print(profile_report(tracer, res.stats))
         for line in res.prints:
             print(line)
         if args.gather:

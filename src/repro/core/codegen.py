@@ -446,12 +446,14 @@ def rtr_rewrite_if(
     branch (so statements nested in the branch still receive their own
     rewriting).  Collective: legal only where all processors execute
     (the driver verifies the context is unpartitioned)."""
+    from ..lang.printer import expr_str
+
     out: list[A.Stmt] = []
     for r in A.walk_exprs(s.cond):
         if isinstance(r, A.ArrayRef) and r.name in distributed:
             out.append(A.Bcast(
                 r.name, list(r.subs), A.CallExpr("owner", (r,)),
-                tags.take(), comment="rtr cond",
+                tags.take(), comment=f"rtr cond {expr_str(r)}",
             ))
     return out
 
@@ -503,11 +505,11 @@ def rtr_rewrite_assign(
                         A.BinOp("==", MYP, r_owner),
                         A.BinOp("/=", MYP, lhs_owner)),
                 [A.Send(r.name, list(r.subs), lhs_owner, tag,
-                        comment="rtr")], []))
+                        comment=f"rtr {expr_str(r)} -> {lhs_text}")], []))
             recvs.append(A.If(
                 A.BinOp("/=", MYP, r_owner),
                 [A.Recv(r.name, list(r.subs), r_owner, tag,
-                        comment="rtr")], []))
+                        comment=f"rtr {expr_str(r)} -> {lhs_text}")], []))
         out.append(A.If(
             A.BinOp("==", MYP, lhs_owner),
             recvs + [A.Assign(s.target, s.expr, s.label)], []))
@@ -515,7 +517,7 @@ def rtr_rewrite_assign(
     # replicated lhs: every processor needs the distributed elements
     for r in reads:
         out.append(A.Bcast(r.name, list(r.subs), owner_of(r), tags.take(),
-                           comment="rtr"))
+                           comment=f"rtr {expr_str(r)}"))
     out.append(A.Assign(s.target, s.expr, s.label))
     return out
 

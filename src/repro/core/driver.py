@@ -18,6 +18,7 @@ The result executes directly on the simulated machine via
 from __future__ import annotations
 
 import os
+from contextlib import nullcontext
 from dataclasses import astuple, dataclass
 from typing import Optional, Union
 
@@ -28,6 +29,7 @@ from ..interp.interpreter import SPMDResult, run_spmd
 from ..lang import ast as A
 from ..lang import parse, program_str
 from ..machine.costmodel import CostModel, IPSC860
+from ..obs import resolve_trace
 from .cloning import clone_program
 from .codegen import (
     RewritePlan,
@@ -69,12 +71,15 @@ class CompiledProgram:
         vectorize: Optional[bool] = None,
         faults=None,
         scheduler: Optional[str] = None,
+        trace=None,
     ) -> SPMDResult:
         """Execute on the simulated machine.  *timeout_s* defaults to
         ``REPRO_SIM_TIMEOUT`` (else 60 s); *faults* is an optional
         :class:`~repro.machine.faults.FaultPlan` (``REPRO_FAULTS`` when
         None); *scheduler* selects the simulation backend
-        (``REPRO_SCHEDULER`` or ``"coop"`` when None)."""
+        (``REPRO_SCHEDULER`` or ``"coop"`` when None); *trace* enables
+        event tracing (a :class:`~repro.obs.Tracer`, ``True``, or the
+        ``REPRO_TRACE`` environment variable when None)."""
         from ..interp.interpreter import default_init
 
         return run_spmd(
@@ -87,6 +92,7 @@ class CompiledProgram:
             vectorize=vectorize,
             faults=faults,
             scheduler=scheduler,
+            trace=trace,
         )
 
     def text(self) -> str:
@@ -155,6 +161,7 @@ class ProcedureCompiler:
         report: CompileReport,
         tags: TagAllocator,
         is_main: bool,
+        tracer=None,
     ) -> None:
         self.proc = proc
         self.acg = acg
@@ -164,12 +171,18 @@ class ProcedureCompiler:
         self.report = report
         self.tags = tags
         self.is_main = is_main
+        self.tracer = tracer
         env = dict(_param_env(proc))
         consts = getattr(reaching, "constants", None) or {}
         env.update(consts.get(proc.name, {}))
         self.env = env
 
     # ------------------------------------------------------------------
+
+    def _decide(self, name: str, **fields) -> None:
+        """Record a compilation decision when tracing is enabled."""
+        if self.tracer is not None:
+            self.tracer.decision(name, **fields)
 
     def compile(self) -> ProcExports:
         proc, opts = self.proc, self.opts
@@ -179,8 +192,12 @@ class ProcedureCompiler:
             n: (str(i.dist) if i.dist else "replicated")
             for n, i in arrays.items()
         }
+        for n, d in sorted(self.report.distributions[proc.name].items()):
+            self._decide("distribution", proc=proc.name, array=n, dist=d)
         for n, why in rtr_arrays.items():
             self.report.rtr_fallbacks.append(f"{proc.name}.{n}: {why}")
+            self._decide("rtr-fallback", proc=proc.name,
+                         why=f"{n}: {why}")
 
         if opts.mode is Mode.RTR:
             return self._compile_rtr(arrays, rtr_arrays)
@@ -223,6 +240,7 @@ class ProcedureCompiler:
             forced_rtr.update(new_rtr)
             for why in new_rtr.values():
                 self.report.rtr_fallbacks.append(f"{proc.name}: {why}")
+                self._decide("rtr-fallback", proc=proc.name, why=why)
         else:  # pragma: no cover - the fixpoint always terminates
             raise CompileError(f"{proc.name}: partition planning diverged")
 
@@ -248,6 +266,8 @@ class ProcedureCompiler:
             self.report.comm_placements.append(
                 f"{proc.name}: level {act.level} {act.pending.describe()}"
             )
+            self._decide("comm-placement", proc=proc.name, level=act.level,
+                         placement=act.pending.describe())
         return exports
 
     # -- constraints ------------------------------------------------------
@@ -281,6 +301,8 @@ class ProcedureCompiler:
                     full = f"{self.proc.name}: {why}"
                     if full not in self.report.rtr_fallbacks:
                         self.report.rtr_fallbacks.append(full)
+                        self._decide("rtr-fallback", proc=self.proc.name,
+                                     why=why)
             elif isinstance(s, A.Call):
                 site = site_of.get(sid)
                 if site is None:
@@ -634,85 +656,118 @@ _compile_cache: dict[tuple, "CompiledProgram"] = {}
 
 
 def compile_program(
-    source: Union[str, A.Program], opts: Optional[Options] = None
+    source: Union[str, A.Program],
+    opts: Optional[Options] = None,
+    trace=None,
 ) -> CompiledProgram:
     """Compile Fortran D source (or a parsed Program) to an SPMD node
     program for ``opts.nprocs`` processors.
 
     Repeated compilations of the same source text with equal options
     return a shared memoized :class:`CompiledProgram` (disable with
-    ``REPRO_COMPILE_CACHE=0``).
+    ``REPRO_COMPILE_CACHE=0``).  *trace* optionally supplies a
+    :class:`~repro.obs.Tracer` (or ``True``) recording per-phase timings
+    and compilation decisions; a memoized hit records a single
+    ``compile.cache-hit`` decision instead of re-tracing the phases.
     """
     opts = opts or Options()
+    tracer = resolve_trace(trace)
     cache_key = None
     if isinstance(source, str) and \
             os.environ.get("REPRO_COMPILE_CACHE", "1") != "0":
         cache_key = (source, astuple(opts))
         hit = _compile_cache.get(cache_key)
         if hit is not None:
+            if tracer is not None:
+                tracer.decision("compile.cache-hit", mode=opts.mode.value,
+                                nprocs=opts.nprocs)
             return hit
-    compiled = _compile_uncached(source, opts)
+    compiled = _compile_uncached(source, opts, tracer)
     if cache_key is not None:
         _compile_cache[cache_key] = compiled
     return compiled
 
 
 def _compile_uncached(
-    source: Union[str, A.Program], opts: Options
+    source: Union[str, A.Program], opts: Options, tracer=None
 ) -> CompiledProgram:
-    prog = parse(source) if isinstance(source, str) else _deep_copy(source)
-    report = CompileReport(mode=opts.mode, nprocs=opts.nprocs)
+    def span(name, **fields):
+        return tracer.phase(name, **fields) if tracer is not None \
+            else nullcontext()
 
-    if opts.mode in (Mode.INTER, Mode.INTRA):
-        outcome = clone_program(prog, opts)
-        prog, acg, reaching = outcome.program, outcome.acg, outcome.reaching
-        report.cloned = outcome.clones
-        if outcome.growth_capped:
-            report.note("cloning disabled: growth threshold exceeded")
-    else:
-        acg = ACG(prog)
-        reaching = compute_reaching(acg, opts)
+    with span("compile", mode=opts.mode.value, nprocs=opts.nprocs):
+        with span("parse"):
+            prog = parse(source) if isinstance(source, str) \
+                else _deep_copy(source)
+        report = CompileReport(mode=opts.mode, nprocs=opts.nprocs)
 
-    # §6.4: dynamic decomposition of aliased variables is rejected
-    from ..analysis.aliasing import check_dynamic_decomposition, compute_aliases
+        with span("interprocedural-analysis"):
+            if opts.mode in (Mode.INTER, Mode.INTRA):
+                outcome = clone_program(prog, opts)
+                prog, acg, reaching = \
+                    outcome.program, outcome.acg, outcome.reaching
+                report.cloned = outcome.clones
+                if outcome.growth_capped:
+                    report.note("cloning disabled: growth threshold exceeded")
+                    if tracer is not None:
+                        tracer.decision("clone-growth-capped")
+                if tracer is not None:
+                    for base, clones in sorted(report.cloned.items()):
+                        tracer.decision("clone", base=base,
+                                        clones=", ".join(clones))
+            else:
+                acg = ACG(prog)
+                reaching = compute_reaching(acg, opts)
 
-    check_dynamic_decomposition(acg, compute_aliases(acg))
-
-    # initial (static prologue) distributions of the main program
-    initial = _initial_distributions(prog, reaching, opts)
-
-    tags = TagAllocator()
-    exports: dict[str, ProcExports] = {}
-    main_name = prog.main.name
-    for name in acg.reverse_topological_order():
-        pc = ProcedureCompiler(
-            prog.unit(name), acg, reaching, opts, exports, report, tags,
-            is_main=(name == main_name),
+        # §6.4: dynamic decomposition of aliased variables is rejected
+        from ..analysis.aliasing import (
+            check_dynamic_decomposition,
+            compute_aliases,
         )
-        if opts.strict:
-            exports[name] = pc.compile()
-            continue
-        try:
-            exports[name] = pc.compile()
-        except (CompileError, UnsupportedSubscript) as e:
-            # Graceful degradation (§1, §4): instead of aborting on an
-            # unanalyzable construct, demote this one procedure to the
-            # run-time-resolution path — per-reference ownership tests
-            # and on-demand element messages need no analysis.  All
-            # compile-phase failures raise *before* the body rewrite, so
-            # the procedure is still pristine source here; it exports
-            # nothing, which callers already treat conservatively.
-            exports[name] = _demote_to_rtr(
-                name, e, prog, acg, reaching, opts, exports, report,
-                tags, main_name,
-            )
+
+        with span("alias-analysis"):
+            check_dynamic_decomposition(acg, compute_aliases(acg))
+
+        # initial (static prologue) distributions of the main program
+        with span("initial-distributions"):
+            initial = _initial_distributions(prog, reaching, opts)
+
+        tags = TagAllocator()
+        exports: dict[str, ProcExports] = {}
+        main_name = prog.main.name
+        with span("codegen"):
+            for name in acg.reverse_topological_order():
+                pc = ProcedureCompiler(
+                    prog.unit(name), acg, reaching, opts, exports, report,
+                    tags, is_main=(name == main_name), tracer=tracer,
+                )
+                with span("procedure", proc=name):
+                    if opts.strict:
+                        exports[name] = pc.compile()
+                        continue
+                    try:
+                        exports[name] = pc.compile()
+                    except (CompileError, UnsupportedSubscript) as e:
+                        # Graceful degradation (§1, §4): instead of
+                        # aborting on an unanalyzable construct, demote
+                        # this one procedure to the run-time-resolution
+                        # path — per-reference ownership tests and
+                        # on-demand element messages need no analysis.
+                        # All compile-phase failures raise *before* the
+                        # body rewrite, so the procedure is still
+                        # pristine source here; it exports nothing,
+                        # which callers already treat conservatively.
+                        exports[name] = _demote_to_rtr(
+                            name, e, prog, acg, reaching, opts, exports,
+                            report, tags, main_name, tracer,
+                        )
 
     return CompiledProgram(prog, initial, report, opts)
 
 
 def _demote_to_rtr(
     name, err, prog, acg, reaching, opts, exports, report,
-    tags, main_name,
+    tags, main_name, tracer=None,
 ) -> ProcExports:
     """Compile procedure *name* with run-time resolution after its
     compile-time analysis failed with *err* (Options.strict=False)."""
@@ -723,11 +778,13 @@ def _demote_to_rtr(
     report.rtr_demotions.append(f"{name}: {cause}")
     if why not in report.rtr_fallbacks:
         report.rtr_fallbacks.append(why)
+    if tracer is not None:
+        tracer.decision("rtr-demotion", proc=name, cause=cause)
     proc = prog.unit(name)
     pr = reaching.per_proc[name]
     pc = ProcedureCompiler(
         proc, acg, reaching, opts, exports, report, tags,
-        is_main=(name == main_name),
+        is_main=(name == main_name), tracer=tracer,
     )
     arrays, rtr_arrays = resolve_arrays(proc, pr, opts)
     return pc._compile_rtr(arrays, rtr_arrays)

@@ -114,6 +114,7 @@ class Interpreter:
         self.comm_cache = comm_cache_enabled()
         self.comm_cache_hits = 0
         self.comm_cache_misses = 0
+        self.tracer = ctx.tracer if ctx is not None else None
         self.prints: list[str] = []
         self._compiled: dict[str, list[StmtFn]] = {}
         self._param_env: dict[str, dict[str, float | int]] = {}
@@ -612,7 +613,7 @@ class Interpreter:
         if isinstance(s, (A.SendPack, A.RecvPack)):
             return self._compile_pack(s, unit)
         if isinstance(s, A.GlobalReduce):
-            return self._compile_reduce(s)
+            return self._compile_reduce(s, unit)
         if isinstance(s, A.Remap):
             return self._compile_remap(s, unit)
         if isinstance(s, A.MarkDist):
@@ -687,8 +688,18 @@ class Interpreter:
         entry = cache.get(key)
         if entry is not None:
             self.comm_cache_hits += 1
+            if self.tracer is not None:
+                self.tracer.rank_event(
+                    self.ctx.rank, "interp.cache",
+                    self.ctx.clock_estimate(), array=arr.name, hit=True,
+                )
             return entry
         self.comm_cache_misses += 1
+        if self.tracer is not None:
+            self.tracer.rank_event(
+                self.ctx.rank, "interp.cache",
+                self.ctx.clock_estimate(), array=arr.name, hit=False,
+            )
         subs = self._resolve_whole_dims(arr, raw)
         slices = arr._slices(subs)
         view = arr.data[slices]
@@ -711,10 +722,24 @@ class Interpreter:
             payload = payload.reshape(view.shape)
         view[...] = payload
 
+    @staticmethod
+    def _comm_origin(s: A.Stmt, unit: A.Procedure) -> str:
+        """Trace provenance of a communication statement, computed once
+        at closure-compile time: the codegen comment (already
+        ``proc:expr`` for compiler-placed messages), qualified with the
+        procedure name when it is a bare annotation like ``rtr``."""
+        c = getattr(s, "comment", "") or ""
+        if not c:
+            return f"{unit.name}:?"
+        if ":" in c:
+            return c
+        return f"{unit.name}:{c}"
+
     def _compile_comm(self, s: A.Stmt, unit: A.Procedure) -> StmtFn:
         section_fn = self._compile_section(s.subs, unit)
         name = s.array
         tag = s.tag
+        origin = self._comm_origin(s, unit)
         cache: dict = {}
         if isinstance(s, A.Send):
             dest_fn = self._compile_expr(s.dest, unit)
@@ -727,7 +752,8 @@ class Interpreter:
                 # np scalars are immutable values, safe to send uncopied
                 payload = view.copy() if view is not None \
                     else arr.data[slices]
-                self.ctx.send(int(dest_fn(fr)), tag, payload, nbytes)
+                self.ctx.send(int(dest_fn(fr)), tag, payload, nbytes,
+                              origin=origin)
 
             return run_send
         if isinstance(s, A.Recv):
@@ -738,7 +764,8 @@ class Interpreter:
                 view, slices, _nbytes = self._comm_entry(
                     cache, arr, section_fn(fr)
                 )
-                payload = self.ctx.recv(int(src_fn(fr)), tag)
+                payload = self.ctx.recv(int(src_fn(fr)), tag,
+                                        origin=origin)
                 self._write_entry(arr, view, slices, payload)
 
             return run_recv
@@ -758,7 +785,7 @@ class Interpreter:
                 # source, so the root can pass a view of its own array
                 self.ctx.broadcast(
                     root, view if view is not None else arr.data[slices],
-                    nbytes,
+                    nbytes, origin=origin,
                 )
             else:
                 self.ctx.broadcast(
@@ -766,6 +793,7 @@ class Interpreter:
                     consume=lambda data: self._write_entry(
                         arr, view, slices, data
                     ),
+                    origin=origin,
                 )
 
         return run_bcast
@@ -778,6 +806,7 @@ class Interpreter:
             for array, subs in s.parts
         ]
         tag = s.tag
+        origin = self._comm_origin(s, unit)
         if isinstance(s, A.SendPack):
             dest_fn = self._compile_expr(s.dest, unit)
 
@@ -794,13 +823,14 @@ class Interpreter:
                         else arr.data[slices]
                     )
                     nbytes += nb
-                self.ctx.send(int(dest_fn(fr)), tag, payloads, nbytes)
+                self.ctx.send(int(dest_fn(fr)), tag, payloads, nbytes,
+                              origin=origin)
 
             return run_sendpack
         src_fn = self._compile_expr(s.src, unit)
 
         def run_recvpack(fr: Frame):
-            payloads = self.ctx.recv(int(src_fn(fr)), tag)
+            payloads = self.ctx.recv(int(src_fn(fr)), tag, origin=origin)
             for (array, sec_fn, cache), data in zip(part_fns, payloads):
                 arr = fr.arrays[array]
                 view, slices, _nb = self._comm_entry(cache, arr, sec_fn(fr))
@@ -808,16 +838,19 @@ class Interpreter:
 
         return run_recvpack
 
-    def _compile_reduce(self, s: A.GlobalReduce) -> StmtFn:
+    def _compile_reduce(self, s: A.GlobalReduce, unit: A.Procedure) -> StmtFn:
         var, op, aux = s.var, s.op, s.aux
+        origin = getattr(s, "comment", "") or f"{unit.name}:{op} {var}"
 
         def run_reduce(fr: Frame):
             if op == "maxloc":
                 value = (fr.scalars[var], fr.scalars[aux])
-                result = self.ctx.allreduce(value, "maxloc", 16)
+                result = self.ctx.allreduce(value, "maxloc", 16,
+                                            origin=origin)
                 fr.scalars[var], fr.scalars[aux] = result
             else:
-                result = self.ctx.allreduce(fr.scalars[var], op, 8)
+                result = self.ctx.allreduce(fr.scalars[var], op, 8,
+                                            origin=origin)
                 fr.scalars[var] = result
 
         return run_reduce
@@ -825,13 +858,14 @@ class Interpreter:
     def _compile_remap(self, s: A.Remap, unit: A.Procedure) -> StmtFn:
         name = s.array
         specs = list(s.to_specs)
+        origin = getattr(s, "comment", "") or f"{unit.name}:remap {name}"
 
         def run_remap(fr: Frame):
             arr = fr.arrays[name]
             if self.ctx is None:
                 return  # sequential: remapping is a no-op
             new = Distribution.from_specs(specs, arr.bounds, self.ctx.nprocs)
-            remap_array(self.ctx, arr, new)
+            remap_array(self.ctx, arr, new, origin=origin)
 
         return run_remap
 
@@ -893,10 +927,13 @@ class SPMDResult:
     """Result of a distributed run: stats, per-rank frames, and arrays
     gathered back to global shape from their owners."""
 
-    def __init__(self, stats, frames: list[Frame], prints: list[str]) -> None:
+    def __init__(self, stats, frames: list[Frame], prints: list[str],
+                 trace=None) -> None:
         self.stats = stats
         self.frames = frames
         self.prints = prints
+        #: the run's Tracer when tracing was on, else None
+        self.trace = trace
 
     def gathered(self, name: str) -> np.ndarray:
         """Assemble the global array from each rank's owned regions
@@ -931,6 +968,7 @@ def run_spmd(
     vectorize: Optional[bool] = None,
     faults=None,
     scheduler: Optional[str] = None,
+    trace=None,
 ) -> SPMDResult:
     """Run a compiled SPMD node program on the simulated machine.
 
@@ -939,10 +977,13 @@ def run_spmd(
     *faults* is an optional :class:`~repro.machine.faults.FaultPlan`
     (``REPRO_FAULTS`` when None).  *scheduler* selects the simulation
     backend (``REPRO_SCHEDULER`` or the cooperative scheduler when
-    None).
+    None).  *trace* enables event tracing: a
+    :class:`~repro.obs.Tracer`, ``True`` for a fresh one, or None to
+    defer to ``REPRO_TRACE`` (when that names a file, the Chrome trace
+    JSON is written there after the run).
     """
     machine = Machine(nprocs, cost, timeout_s, faults=faults,
-                      scheduler=scheduler)
+                      scheduler=scheduler, trace=trace)
     prints: list[str] = []
 
     def node(ctx: ProcContext) -> Frame:
@@ -958,4 +999,10 @@ def run_spmd(
         return frame
 
     frames = machine.run(node)
-    return SPMDResult(machine.stats, frames, prints)
+    if machine.tracer is not None and trace is None:
+        from ..obs import trace_output_path, write_chrome_trace
+
+        path = trace_output_path()
+        if path:
+            write_chrome_trace(machine.tracer, path)
+    return SPMDResult(machine.stats, frames, prints, trace=machine.tracer)

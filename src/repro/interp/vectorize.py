@@ -419,12 +419,21 @@ def try_vectorize(do: A.Do, unit, interp, scalar_fallback) -> Optional[Callable]
         if n < MIN_BLOCK or not plan.runtime_ok(fr, lo, st, n):
             scalar_fallback(fr)
             return
+        tracer = ctx.tracer if ctx is not None else None
+        t0 = ctx.clock_estimate() if tracer is not None else 0.0
         blk = _Block(lo, st, n)
         for exec_stmt in plan.execs:
             exec_stmt(fr, blk)
         if ctx is not None:
             ctx.loop_tick(n)
             ctx.compute(n * ops_per_iter)
+        if tracer is not None:
+            # virtual span of the block's charges, previewed without
+            # flushing (a flush here would perturb the simulation)
+            tracer.rank_event(
+                ctx.rank, "interp.vec", t0, dur=ctx.clock_estimate() - t0,
+                unit=unit_name, var=var, n=n, ops=n * ops_per_iter,
+            )
         fr.scalars[var] = lo + n * st
 
     return run_do_vec

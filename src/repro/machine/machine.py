@@ -44,6 +44,7 @@ from .scheduler import (
     resolve_scheduler,
 )
 from .stats import RunStats
+from ..obs import resolve_trace
 
 
 class ProcContext:
@@ -118,6 +119,28 @@ class ProcContext:
                 f"clock {self._clock:.3f} µs (crash scheduled at {at:g})"
             )
 
+    def clock_estimate(self) -> float:
+        """The clock a flush *would* produce, without performing one.
+
+        Trace instrumentation must use this instead of ``clock``: an
+        actual flush at a trace point would change the floating-point
+        summation order of the batched charges and perturb the
+        simulation, breaking the traced-vs-untraced bit-identity
+        contract.  Mirrors the additive order of :meth:`_flush`.
+        """
+        t = self._clock
+        if self._ops:
+            t += self._ops * self.cost.flop * self._slow
+        if self._loops:
+            t += self._loops * self.cost.loop_overhead * self._slow
+        if self._guard_ops:
+            t += self._guard_ops * self.cost.flop * self._slow
+        return t
+
+    @property
+    def tracer(self):
+        return self.machine.tracer
+
     @property
     def clock(self) -> float:
         self._flush()
@@ -148,44 +171,50 @@ class ProcContext:
 
     # -- point-to-point ------------------------------------------------------
 
-    def send(self, dst: int, tag: int, payload: Any, nbytes: int) -> None:
+    def send(self, dst: int, tag: int, payload: Any, nbytes: int,
+             origin: Optional[str] = None) -> None:
         self._maybe_crash()
         self.clock = self.machine.network.send(
-            self.rank, dst, tag, payload, nbytes, self.clock
+            self.rank, dst, tag, payload, nbytes, self.clock, origin=origin
         )
 
-    def recv(self, src: int, tag: int) -> Any:
+    def recv(self, src: int, tag: int, origin: Optional[str] = None) -> Any:
         self._maybe_crash()
         payload, self.clock = self.machine.network.recv(
-            self.rank, src, tag, self.clock
+            self.rank, src, tag, self.clock, origin=origin
         )
         return payload
 
     # -- collectives ----------------------------------------------------------
 
     def broadcast(self, root: int, payload: Any, nbytes: int,
-                  consume: Any = None) -> Any:
+                  consume: Any = None, origin: Optional[str] = None) -> Any:
         self._maybe_crash()
         data, self.clock = self.machine.collectives.broadcast(
-            self.rank, root, payload, nbytes, self.clock, consume=consume
+            self.rank, root, payload, nbytes, self.clock, consume=consume,
+            origin=origin
         )
         return data
 
-    def allreduce(self, value: Any, op: str, nbytes: int = 8) -> Any:
+    def allreduce(self, value: Any, op: str, nbytes: int = 8,
+                  origin: Optional[str] = None) -> Any:
         self._maybe_crash()
         result, self.clock = self.machine.collectives.allreduce(
-            self.rank, value, op, nbytes, self.clock
+            self.rank, value, op, nbytes, self.clock, origin=origin
         )
         return result
 
-    def barrier(self) -> None:
+    def barrier(self, origin: Optional[str] = None) -> None:
         self._maybe_crash()
-        self.clock = self.machine.collectives.barrier(self.rank, self.clock)
+        self.clock = self.machine.collectives.barrier(
+            self.rank, self.clock, origin=origin
+        )
 
-    def exchange(self, outgoing: dict[int, Any], nbytes_out: int) -> dict[int, Any]:
+    def exchange(self, outgoing: dict[int, Any], nbytes_out: int,
+                 origin: Optional[str] = None) -> dict[int, Any]:
         self._maybe_crash()
         incoming, self.clock = self.machine.collectives.exchange(
-            self.rank, outgoing, nbytes_out, self.clock
+            self.rank, outgoing, nbytes_out, self.clock, origin=origin
         )
         return incoming
 
@@ -214,6 +243,7 @@ class Machine:
         timeout_s: Optional[float] = None,
         faults: Optional[FaultPlan] = None,
         scheduler: Optional[str] = None,
+        trace: Any = None,
     ) -> None:
         if nprocs < 1:
             raise ValueError("need at least one processor")
@@ -222,15 +252,25 @@ class Machine:
         self.faults = faults if faults is not None else FaultPlan.from_env()
         self.scheduler = resolve_scheduler(scheduler)
         self.stats = RunStats(nprocs=nprocs, scheduler=self.scheduler)
+        self.tracer = resolve_trace(trace)
+        if self.tracer is not None:
+            self.tracer.ensure_ranks(nprocs)
+            self.tracer.meta.update(
+                nprocs=nprocs, scheduler=self.scheduler, cost=str(cost),
+            )
+            if self.faults is not None:
+                self.tracer.meta["faults"] = str(self.faults)
         if self.scheduler == "coop":
             self.detector = None
-            self._sched = CoopScheduler(nprocs, timeout_s)
+            self._sched = CoopScheduler(nprocs, timeout_s,
+                                        tracer=self.tracer)
             self.network = CoopNetwork(
                 nprocs, cost, self.stats, timeout_s,
                 faults=self.faults, scheduler=self._sched,
+                tracer=self.tracer,
             )
             self.collectives = CoopCollectives(
-                nprocs, cost, self.stats, self._sched,
+                nprocs, cost, self.stats, self._sched, tracer=self.tracer,
             )
             self._sched.network = self.network
         else:
@@ -239,10 +279,12 @@ class Machine:
             self.network = Network(
                 nprocs, cost, self.stats, timeout_s,
                 faults=self.faults, detector=self.detector,
+                tracer=self.tracer,
             )
             self.collectives = CollectiveContext(
                 nprocs, cost, self.stats, timeout_s,
                 detector=self.detector, network=self.network,
+                tracer=self.tracer,
             )
             self.detector.attach(self.network, self._declare_failure)
 

@@ -95,6 +95,11 @@ class _Message:
     payload: Any
     nbytes: int
     available_at: float  # virtual µs
+    #: sender's clock when the send was posted (trace provenance: the
+    #: critical-path walk jumps to the sender at this time)
+    sent_at: float = 0.0
+    #: source-program statement that emitted the send, when tracing
+    origin: Optional[str] = None
 
 
 class Network:
@@ -117,6 +122,7 @@ class Network:
         timeout_s: Optional[float] = None,
         faults: Optional[FaultPlan] = None,
         detector: Optional[DeadlockDetector] = None,
+        tracer: Any = None,
     ) -> None:
         self.nprocs = nprocs
         self.cost = cost
@@ -124,6 +130,7 @@ class Network:
         self.timeout_s = resolve_timeout(timeout_s)
         self.faults = faults
         self.detector = detector
+        self.tracer = tracer
         self._queues: list[dict[tuple[int, int], deque[_Message]]] = [
             {} for _ in range(nprocs)
         ]
@@ -164,7 +171,7 @@ class Network:
 
     def send(
         self, src: int, dst: int, tag: int, payload: Any, nbytes: int,
-        now: float,
+        now: float, origin: Optional[str] = None,
     ) -> float:
         """Deliver a message; returns the sender's clock after the send."""
         if self._failed.is_set():
@@ -185,7 +192,18 @@ class Network:
             if extra or retries:
                 available += extra
                 self.stats.record_fault(retries)
-        msg = _Message(src, tag, payload, nbytes, available)
+                if self.tracer is not None:
+                    self.tracer.rank_event(
+                        src, "fault", now, dst=dst, tag=tag,
+                        delay=extra, retries=retries,
+                    )
+        if self.tracer is not None:
+            self.tracer.rank_event(
+                src, "net.send", now, dst=dst, tag=tag, bytes=nbytes,
+                avail=available, origin=origin,
+            )
+        msg = _Message(src, tag, payload, nbytes, available,
+                       sent_at=now, origin=origin)
         key = (src, tag)
         cond = self._conds[dst]
         with cond:
@@ -198,7 +216,8 @@ class Network:
         self.stats.record_message(nbytes)
         return sender_after
 
-    def recv(self, dst: int, src: int, tag: int, now: float) -> tuple[Any, float]:
+    def recv(self, dst: int, src: int, tag: int, now: float,
+             origin: Optional[str] = None) -> tuple[Any, float]:
         """Blocking matched receive; returns (payload, new clock)."""
         if not (0 <= src < self.nprocs):
             raise SimulationError(f"recv from invalid processor {src}")
@@ -214,7 +233,16 @@ class Network:
                     if not q:
                         del queues[key]
                     arrive = max(now, m.available_at)
-                    return m.payload, arrive + self.cost.recv_cost(m.nbytes)
+                    t = arrive + self.cost.recv_cost(m.nbytes)
+                    if self.tracer is not None:
+                        self.tracer.rank_event(
+                            dst, "net.recv", now, dur=t - now, src=m.src,
+                            tag=tag, bytes=m.nbytes, sent_at=m.sent_at,
+                            avail=m.available_at,
+                            wait=max(0.0, m.available_at - now),
+                            origin=origin or m.origin,
+                        )
+                    return m.payload, t
                 if self._failed.is_set():
                     raise self._failure_error(dst, src, tag)
                 self._waiting[dst] = key
@@ -293,13 +321,15 @@ class CollectiveContext:
     def __init__(self, nprocs: int, cost: CostModel, stats: RunStats,
                  timeout_s: Optional[float] = None,
                  detector: Optional[DeadlockDetector] = None,
-                 network: Optional[Network] = None) -> None:
+                 network: Optional[Network] = None,
+                 tracer: Any = None) -> None:
         self.nprocs = nprocs
         self.cost = cost
         self.stats = stats
         self.timeout_s = resolve_timeout(timeout_s)
         self.detector = detector
         self.network = network
+        self.tracer = tracer
         self._barrier = threading.Barrier(nprocs, action=self._trip)
         self._lock = threading.Lock()
         self._slots: dict[str, Any] = {}
@@ -309,6 +339,10 @@ class CollectiveContext:
         self._complete: Any = None
         self._result: Any = None
         self._maxclock = 0.0
+        #: straggler rank (trace-only) — computed in the barrier action,
+        #: overwrite-safe like ``_result`` (the next trip cannot happen
+        #: until every rank has re-entered, i.e. has read this one)
+        self._maxrank = 0
 
     def _trip(self) -> None:
         """Barrier action: runs once, before any waiter resumes.  The
@@ -318,8 +352,22 @@ class CollectiveContext:
         if self.detector is not None:
             self.detector.release_collective()
         self._maxclock = max(self._clocks)
+        if self.tracer is not None:
+            self._maxrank = min(
+                r for r in range(self.nprocs)
+                if self._clocks[r] == self._maxclock
+            )
         fn, self._complete = self._complete, None
         self._result = fn() if fn is not None else None
+
+    def _trace_coll(self, rank: int, label: str, now: float, t: float,
+                    nbytes: int = 0, origin: Optional[str] = None) -> None:
+        """Record one participant's rendezvous span (after _sync, so
+        ``_maxclock``/``_maxrank`` describe *this* operation)."""
+        self.tracer.rank_event(
+            rank, "coll", now, dur=t - now, label=label, bytes=nbytes,
+            maxclock=self._maxclock, maxrank=self._maxrank, origin=origin,
+        )
 
     def abort(self) -> None:
         """Break the rendezvous so collective waiters unblock."""
@@ -358,7 +406,8 @@ class CollectiveContext:
             raise self._failure_error(rank, label) from None
 
     def broadcast(self, rank: int, root: int, payload: Any, nbytes: int,
-                  now: float, consume: Any = None) -> tuple[Any, float]:
+                  now: float, consume: Any = None,
+                  origin: Optional[str] = None) -> tuple[Any, float]:
         """All nodes call; returns (payload, new clock).
 
         When *consume* is given (a callable taking the broadcast data)
@@ -379,6 +428,8 @@ class CollectiveContext:
         self._complete = self._finish_bcast
         self._sync(rank, "bcast")
         t = self._maxclock + self.cost.collective_cost(self.nprocs, nbytes)
+        if self.tracer is not None:
+            self._trace_coll(rank, "bcast", now, t, nbytes, origin)
         return self._result, t
 
     def _finish_bcast(self) -> Any:
@@ -391,7 +442,8 @@ class CollectiveContext:
         return data
 
     def allreduce(self, rank: int, value: Any, op: str, nbytes: int,
-                  now: float) -> tuple[Any, float]:
+                  now: float,
+                  origin: Optional[str] = None) -> tuple[Any, float]:
         """Combining all-reduce; op in {"sum", "max", "min", "maxloc"}.
 
         Contributions combine in rank order — NOT thread arrival order —
@@ -409,6 +461,8 @@ class CollectiveContext:
         t = self._maxclock + 2 * self.cost.collective_cost(
             self.nprocs, nbytes
         )
+        if self.tracer is not None:
+            self._trace_coll(rank, "reduce", now, t, nbytes, origin)
         return self._result, t
 
     def _finish_reduce(self) -> Any:
@@ -419,13 +473,18 @@ class CollectiveContext:
         self.stats.record_collective(slot["nbytes"] * self.nprocs)
         return result
 
-    def barrier(self, rank: int, now: float) -> float:
+    def barrier(self, rank: int, now: float,
+                origin: Optional[str] = None) -> float:
         self._clocks[rank] = now
         self._sync(rank, "barrier")
-        return self._maxclock + self.cost.barrier_cost(self.nprocs)
+        t = self._maxclock + self.cost.barrier_cost(self.nprocs)
+        if self.tracer is not None:
+            self._trace_coll(rank, "barrier", now, t, 0, origin)
+        return t
 
     def exchange(self, rank: int, outgoing: dict[int, Any], nbytes_out: int,
-                 now: float) -> tuple[dict[int, Any], float]:
+                 now: float,
+                 origin: Optional[str] = None) -> tuple[dict[int, Any], float]:
         """All-to-all personalized exchange (used by the remap runtime):
         each node contributes {dst: payload}; receives {src: payload}.
 
@@ -448,6 +507,14 @@ class CollectiveContext:
         t = self._maxclock + self.cost.collective_cost(
             self.nprocs, max(nbytes_out, 1)
         )
+        if self.tracer is not None:
+            self._trace_coll(rank, "exchange", now, t, nbytes_out, origin)
+            per_pair = nbytes_out / max(1, len(outgoing))
+            for dst in sorted(outgoing):
+                self.tracer.rank_event(
+                    rank, "net.exchange", now, dst=dst, bytes=per_pair,
+                    origin=origin,
+                )
         return incoming, t
 
     def _finish_exchange(self) -> Any:

@@ -95,9 +95,11 @@ class CoopScheduler:
     provides the necessary happens-before edges between fibers.
     """
 
-    def __init__(self, nprocs: int, timeout_s: Optional[float] = None) -> None:
+    def __init__(self, nprocs: int, timeout_s: Optional[float] = None,
+                 tracer: Any = None) -> None:
         self.nprocs = nprocs
         self.timeout_s = resolve_timeout(timeout_s)
+        self.tracer = tracer
         self._state = [READY] * nprocs
         self._detail: list[object] = [None] * nprocs
         self._clock = [0.0] * nprocs
@@ -133,6 +135,8 @@ class CoopScheduler:
         self.dispatches += 1
         if self._state[nxt] == READY:
             self._state[nxt] = RUNNING
+        if self.tracer is not None:
+            self.tracer.rank_event(nxt, "sched.dispatch", self._clock[nxt])
         self._events[nxt].set()
         return True
 
@@ -197,6 +201,11 @@ class CoopScheduler:
         self._state[rank] = BLOCKED_RECV
         self._detail[rank] = key
         self._clock[rank] = clock
+        if self.tracer is not None:
+            self.tracer.rank_event(
+                rank, "sched.block", clock, why="recv",
+                src=key[0], tag=key[1],
+            )
         self._park(rank)
         if self.failed:
             self._state[rank] = RUNNING
@@ -213,6 +222,10 @@ class CoopScheduler:
         self._state[rank] = BLOCKED_COLLECTIVE
         self._detail[rank] = label
         self._clock[rank] = clock
+        if self.tracer is not None:
+            self.tracer.rank_event(
+                rank, "sched.block", clock, why="collective", label=label,
+            )
         self._park(rank)
         if self.failed:
             self._state[rank] = RUNNING
@@ -227,6 +240,11 @@ class CoopScheduler:
         gets the CPU only when the current fiber next blocks)."""
         if self._state[dst] == BLOCKED_RECV and self._detail[dst] == key:
             self._state[dst] = READY
+            if self.tracer is not None:
+                self.tracer.rank_event(
+                    dst, "sched.unblock", self._clock[dst], why="recv",
+                    src=key[0], tag=key[1],
+                )
 
     def release_collective(self) -> None:
         """The last participant arrived: every collective waiter is
@@ -234,6 +252,11 @@ class CoopScheduler:
         for r, s in enumerate(self._state):
             if s == BLOCKED_COLLECTIVE:
                 self._state[r] = READY
+                if self.tracer is not None:
+                    self.tracer.rank_event(
+                        r, "sched.unblock", self._clock[r],
+                        why="collective",
+                    )
 
     def finish(self, rank: int, clock: float, failed: bool = False) -> None:
         """Rank left its node program; hand the CPU onward.  Never
@@ -301,6 +324,7 @@ class CoopNetwork:
         timeout_s: Optional[float] = None,
         faults: Optional[FaultPlan] = None,
         scheduler: Optional[CoopScheduler] = None,
+        tracer: Any = None,
     ) -> None:
         self.nprocs = nprocs
         self.cost = cost
@@ -308,6 +332,7 @@ class CoopNetwork:
         self.timeout_s = resolve_timeout(timeout_s)
         self.faults = faults
         self.sched = scheduler
+        self.tracer = tracer
         self._queues: list[dict[tuple[int, int], deque[_Message]]] = [
             {} for _ in range(nprocs)
         ]
@@ -325,7 +350,7 @@ class CoopNetwork:
 
     def send(
         self, src: int, dst: int, tag: int, payload: Any, nbytes: int,
-        now: float,
+        now: float, origin: Optional[str] = None,
     ) -> float:
         """Deliver a message; returns the sender's clock after the send."""
         if self.sched.failed:
@@ -346,17 +371,28 @@ class CoopNetwork:
             if extra or retries:
                 available += extra
                 self.stats.record_fault(retries)
+                if self.tracer is not None:
+                    self.tracer.rank_event(
+                        src, "fault", now, dst=dst, tag=tag,
+                        delay=extra, retries=retries,
+                    )
+        if self.tracer is not None:
+            self.tracer.rank_event(
+                src, "net.send", now, dst=dst, tag=tag, bytes=nbytes,
+                avail=available, origin=origin,
+            )
         key = (src, tag)
         q = self._queues[dst].get(key)
         if q is None:
             q = self._queues[dst][key] = deque()
-        q.append(_Message(src, tag, payload, nbytes, available))
+        q.append(_Message(src, tag, payload, nbytes, available,
+                          sent_at=now, origin=origin))
         self.sched.unblock_recv(dst, key)
         self.stats.record_message(nbytes)
         return sender_after
 
-    def recv(self, dst: int, src: int, tag: int,
-             now: float) -> tuple[Any, float]:
+    def recv(self, dst: int, src: int, tag: int, now: float,
+             origin: Optional[str] = None) -> tuple[Any, float]:
         """Blocking matched receive; returns (payload, new clock)."""
         if not (0 <= src < self.nprocs):
             raise SimulationError(f"recv from invalid processor {src}")
@@ -369,7 +405,16 @@ class CoopNetwork:
                 if not q:
                     del queues[key]
                 arrive = max(now, m.available_at)
-                return m.payload, arrive + self.cost.recv_cost(m.nbytes)
+                t = arrive + self.cost.recv_cost(m.nbytes)
+                if self.tracer is not None:
+                    self.tracer.rank_event(
+                        dst, "net.recv", now, dur=t - now, src=m.src,
+                        tag=tag, bytes=m.nbytes, sent_at=m.sent_at,
+                        avail=m.available_at,
+                        wait=max(0.0, m.available_at - now),
+                        origin=origin or m.origin,
+                    )
+                return m.payload, t
             if self.sched.failed:
                 raise self.sched.failure_error(AbortError(
                     f"processor {dst} aborted while waiting for "
@@ -408,15 +453,18 @@ class CoopCollectives:
     """
 
     def __init__(self, nprocs: int, cost: CostModel, stats: RunStats,
-                 scheduler: CoopScheduler) -> None:
+                 scheduler: CoopScheduler, tracer: Any = None) -> None:
         self.nprocs = nprocs
         self.cost = cost
         self.stats = stats
         self.sched = scheduler
+        self.tracer = tracer
         self._slots: dict[str, Any] = {}
         self._clocks = [0.0] * nprocs
         self._arrived = 0
         self._maxclock = 0.0
+        #: straggler rank (trace-only), overwrite-safe like ``_result``
+        self._maxrank = 0
         self._result: Any = None
 
     def abort(self) -> None:
@@ -434,13 +482,28 @@ class CoopCollectives:
         if self._arrived == self.nprocs:
             self._arrived = 0
             self._maxclock = max(self._clocks)
+            if self.tracer is not None:
+                self._maxrank = min(
+                    r for r in range(self.nprocs)
+                    if self._clocks[r] == self._maxclock
+                )
             self._result = complete()
             self.sched.release_collective()
         else:
             self.sched.block_collective(rank, label, now)
 
+    def _trace_coll(self, rank: int, label: str, now: float, t: float,
+                    nbytes: int = 0, origin: Optional[str] = None) -> None:
+        """Record one participant's rendezvous span (after _rendezvous
+        returns, so ``_maxclock``/``_maxrank`` describe *this* op)."""
+        self.tracer.rank_event(
+            rank, "coll", now, dur=t - now, label=label, bytes=nbytes,
+            maxclock=self._maxclock, maxrank=self._maxrank, origin=origin,
+        )
+
     def broadcast(self, rank: int, root: int, payload: Any, nbytes: int,
-                  now: float, consume: Any = None) -> tuple[Any, float]:
+                  now: float, consume: Any = None,
+                  origin: Optional[str] = None) -> tuple[Any, float]:
         """All nodes call; returns (payload, new clock).
 
         *consume* callbacks all run inside the completion, before any
@@ -464,10 +527,13 @@ class CoopCollectives:
 
         self._rendezvous(rank, "bcast", now, complete)
         t = self._maxclock + self.cost.collective_cost(self.nprocs, nbytes)
+        if self.tracer is not None:
+            self._trace_coll(rank, "bcast", now, t, nbytes, origin)
         return self._result, t
 
     def allreduce(self, rank: int, value: Any, op: str, nbytes: int,
-                  now: float) -> tuple[Any, float]:
+                  now: float,
+                  origin: Optional[str] = None) -> tuple[Any, float]:
         """Combining all-reduce, rank-ordered for determinism."""
         self._slots.setdefault("reduce", {})[rank] = value
 
@@ -482,14 +548,21 @@ class CoopCollectives:
         t = self._maxclock + 2 * self.cost.collective_cost(
             self.nprocs, nbytes
         )
+        if self.tracer is not None:
+            self._trace_coll(rank, "reduce", now, t, nbytes, origin)
         return self._result, t
 
-    def barrier(self, rank: int, now: float) -> float:
+    def barrier(self, rank: int, now: float,
+                origin: Optional[str] = None) -> float:
         self._rendezvous(rank, "barrier", now, lambda: None)
-        return self._maxclock + self.cost.barrier_cost(self.nprocs)
+        t = self._maxclock + self.cost.barrier_cost(self.nprocs)
+        if self.tracer is not None:
+            self._trace_coll(rank, "barrier", now, t, 0, origin)
+        return t
 
     def exchange(self, rank: int, outgoing: dict[int, Any], nbytes_out: int,
-                 now: float) -> tuple[dict[int, Any], float]:
+                 now: float,
+                 origin: Optional[str] = None) -> tuple[dict[int, Any], float]:
         """All-to-all personalized exchange (the remap runtime)."""
         self._slots.setdefault("exchange", {})[rank] = (outgoing, nbytes_out)
 
@@ -511,4 +584,12 @@ class CoopCollectives:
         t = self._maxclock + self.cost.collective_cost(
             self.nprocs, max(nbytes_out, 1)
         )
+        if self.tracer is not None:
+            self._trace_coll(rank, "exchange", now, t, nbytes_out, origin)
+            per_pair = nbytes_out / max(1, len(outgoing))
+            for dst in sorted(outgoing):
+                self.tracer.rank_event(
+                    rank, "net.exchange", now, dst=dst, bytes=per_pair,
+                    origin=origin,
+                )
         return incoming, t

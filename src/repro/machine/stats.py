@@ -148,6 +148,49 @@ class RunStats:
         ``remap_bytes`` remains the per-category breakdown."""
         return self.bytes + self.collective_bytes
 
+    def as_dict(self) -> dict:
+        """JSON-ready snapshot of every recorded field plus the derived
+        quantities (consumed by ``fdc --stats-json`` and the benchmark
+        harness).  Taken under the lock so concurrent recorders never
+        produce a torn snapshot."""
+        with self._lock:
+            time_us = max(self.proc_times.values(), default=0.0)
+            work = list(self.proc_work.values())
+            mean = sum(work) / len(work) if work else 0.0
+            imbalance = max(work) / mean if work and mean > 0 else 1.0
+            return {
+                "nprocs": self.nprocs,
+                "messages": self.messages,
+                "bytes": self.bytes,
+                "collectives": self.collectives,
+                "collective_bytes": self.collective_bytes,
+                "remaps": self.remaps,
+                "remap_bytes": self.remap_bytes,
+                "flops": self.flops,
+                "guards": self.guards,
+                "faulted_messages": self.faulted_messages,
+                "retransmits": self.retransmits,
+                "proc_times": {
+                    str(r): self.proc_times[r]
+                    for r in sorted(self.proc_times)
+                },
+                "proc_work": {
+                    str(r): self.proc_work[r]
+                    for r in sorted(self.proc_work)
+                },
+                "scheduler": self.scheduler,
+                "wall_s": self.wall_s,
+                "dispatches": self.dispatches,
+                "switches": self.switches,
+                "comm_cache_hits": self.comm_cache_hits,
+                "comm_cache_misses": self.comm_cache_misses,
+                "time_us": time_us,
+                "time_ms": time_us / 1000.0,
+                "load_imbalance": imbalance,
+                "total_messages": self.messages + self.collectives,
+                "total_bytes": self.bytes + self.collective_bytes,
+            }
+
     def summary(self) -> str:
         return (
             f"P={self.nprocs}  time={self.time_ms:.3f} ms  "

@@ -1,0 +1,47 @@
+"""Observability layer: structured tracing, profiling, and
+critical-path analysis for the compiler and the simulated machine.
+
+The paper's whole argument (§9) is *explaining* where messages come from
+and which communication pattern dominates; this package makes that story
+visible for any compiled program:
+
+* :class:`Tracer` — a low-overhead structured event recorder threaded
+  through the compiler driver (host-time phase spans and decision
+  events) and the simulator (virtual-time message lifecycle, scheduler
+  dispatch, collective rendezvous, vectorized-block and comm-cache
+  events).  Off by default; when off, every instrumentation point is a
+  single ``is not None`` test and traced and untraced runs are
+  bit-identical.
+* :func:`chrome_trace` / :func:`write_chrome_trace` — export to the
+  Chrome trace-event / Perfetto JSON format (``fdc --trace out.json``):
+  one track per simulated rank in virtual µs plus compiler-phase tracks
+  in host time.
+* :func:`comm_hotspots`, :func:`comm_matrix`, :func:`critical_path`,
+  :func:`profile_report` — ``fdc --profile``: communication hot spots by
+  (procedure, statement), the rank x rank traffic matrix, and the
+  virtual-time critical path — the chain of blocking dependencies from
+  t=0 to the final clock.
+"""
+
+from .tracer import Tracer, resolve_trace, trace_output_path
+from .chrome import chrome_trace, write_chrome_trace
+from .profile import (
+    comm_hotspots,
+    comm_matrix,
+    critical_path,
+    path_length,
+    profile_report,
+)
+
+__all__ = [
+    "Tracer",
+    "resolve_trace",
+    "trace_output_path",
+    "chrome_trace",
+    "write_chrome_trace",
+    "comm_hotspots",
+    "comm_matrix",
+    "critical_path",
+    "path_length",
+    "profile_report",
+]

@@ -46,7 +46,8 @@ def transfer_sections(
     return out
 
 
-def remap_array(ctx: "ProcContext", arr: "FArray", new: Distribution) -> None:
+def remap_array(ctx: "ProcContext", arr: "FArray", new: Distribution,
+                origin: str = None) -> None:
     """Physically redistribute *arr* to *new* (collective)."""
     old = arr.dist
     if old is None:
@@ -70,7 +71,7 @@ def remap_array(ctx: "ProcContext", arr: "FArray", new: Distribution) -> None:
             bundle.append((subs, payload))
             out_bytes += payload.size * arr.element_bytes
         outgoing[dst] = bundle
-    incoming = ctx.exchange(outgoing, out_bytes)
+    incoming = ctx.exchange(outgoing, out_bytes, origin=origin)
     for _src, bundle in incoming.items():
         for subs, payload in bundle:
             arr.write_section(subs, payload)
