@@ -10,6 +10,7 @@ the *shape* — who wins and by roughly what factor.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 import numpy as np
@@ -17,7 +18,7 @@ import numpy as np
 from repro.core import DynOpt, Mode, Options, compile_program
 from repro.interp import run_sequential
 from repro.lang import parse
-from repro.machine import IPSC860
+from repro.machine import IPSC860, resolve_scheduler, resolve_topology
 
 #: repository root — every benchmark's JSON artifact lands here so CI
 #: can glob ``BENCH_*.json`` uniformly
@@ -30,7 +31,15 @@ def emit_bench(name: str, payload: dict) -> Path:
     Each benchmark module calls this once with its measured quantities;
     the files are the machine-readable counterpart of the printed
     paper-style tables and are uploaded as CI artifacts.
+
+    Every payload is made self-describing: the active scheduler
+    backend, topology, and host CPU count are stamped in (explicit
+    keys set by the benchmark win) so a downloaded artifact identifies
+    the configuration that produced it without consulting CI logs.
     """
+    payload.setdefault("scheduler", resolve_scheduler(None))
+    payload.setdefault("topology", resolve_topology(None, 1).describe())
+    payload.setdefault("host_cpus", os.cpu_count() or 1)
     out = REPO_ROOT / f"BENCH_{name}.json"
     out.write_text(
         json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n"

@@ -83,11 +83,11 @@ def sweep():
     out = {}
     src = stencil1d_source(STENCIL_N, STENCIL_STEPS)
     for P in PROCS:
-        for sched in ("coop", "threads"):
+        for sched in ("coop", "threads", "event"):
             out[("stencil", P, sched)] = _measure(src, P, sched)
     dsrc = dgefa_source(DGEFA_N)
     init = make_dgefa_init(DGEFA_N)
-    for sched in ("coop", "threads"):
+    for sched in ("coop", "threads", "event"):
         out[("dgefa", 16, sched)] = _measure(
             dsrc, 16, sched, init_fn=init, arr="a"
         )
@@ -165,7 +165,7 @@ class TestShape:
         for app, P in {(a, p) for (a, p, _s) in sweep}:
             base = sweep[(app, P, "threads" if (app, P, "threads") in sweep
                           else "coop")]
-            for sched in ("coop", "threads", "oldcore"):
+            for sched in ("coop", "threads", "event", "oldcore"):
                 m = sweep.get((app, P, sched))
                 if m is None:
                     continue

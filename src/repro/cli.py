@@ -12,6 +12,7 @@ Usage::
     fdc program.fd --trace out.json      # Chrome/Perfetto event trace
     fdc program.fd --profile             # comm hot spots + critical path
     fdc program.fd --run --stats-json s.json
+    fdc program.fd --run --scheduler event --topology hypercube
 
 (also available as ``python -m repro.cli``)
 """
@@ -62,11 +63,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fault-seed", type=int, default=0,
                    help="seed for the fault plan (default 0; also via "
                         "REPRO_FAULT_SEED)")
-    p.add_argument("--scheduler", choices=["coop", "threads"], default=None,
+    p.add_argument("--scheduler", choices=["coop", "threads", "event"],
+                   default=None,
                    help="with --run: simulation backend — 'coop' is the "
                         "single-threaded run-to-block scheduler (default), "
-                        "'threads' the thread-per-rank oracle (also via "
+                        "'threads' the thread-per-rank oracle, 'event' the "
+                        "event-driven core for large P (also via "
                         "REPRO_SCHEDULER)")
+    p.add_argument("--topology", metavar="NAME", default=None,
+                   help="with --run: interconnect topology — uniform "
+                        "(default), hypercube, mesh2d, torus2d, fattree; "
+                        "append ':contention' for per-link contention, "
+                        "e.g. 'mesh2d:contention' (also via "
+                        "REPRO_TOPOLOGY)")
     p.add_argument("--timeout", type=float, default=None, metavar="S",
                    help="wall-clock safety-net timeout in seconds "
                         "(default REPRO_SIM_TIMEOUT or 60; deadlocks "
@@ -207,8 +216,9 @@ def main(argv: list[str] | None = None) -> int:
             res = cp.run(cost=COSTS[args.cost], faults=faults,
                          timeout_s=args.timeout,
                          scheduler=args.scheduler,
-                         trace=tracer)
-        except SimulationError as e:
+                         trace=tracer,
+                         topology=args.topology)
+        except (SimulationError, ValueError) as e:
             print(f"fdc: simulation failed: {e}", file=sys.stderr)
             return 1
         print(f"! {res.stats.summary()}")
@@ -223,7 +233,10 @@ def main(argv: list[str] | None = None) -> int:
             print(f"! trace: {tracer.event_count()} events -> "
                   f"{args.trace} (chrome://tracing or ui.perfetto.dev)")
         if args.profile:
-            print(profile_report(tracer, res.stats))
+            from .machine import resolve_topology
+
+            topo = resolve_topology(args.topology, args.nprocs)
+            print(profile_report(tracer, res.stats, topology=topo))
         for line in res.prints:
             print(line)
         if args.gather:

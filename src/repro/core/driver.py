@@ -72,6 +72,7 @@ class CompiledProgram:
         faults=None,
         scheduler: Optional[str] = None,
         trace=None,
+        topology=None,
     ) -> SPMDResult:
         """Execute on the simulated machine.  *timeout_s* defaults to
         ``REPRO_SIM_TIMEOUT`` (else 60 s); *faults* is an optional
@@ -79,7 +80,9 @@ class CompiledProgram:
         None); *scheduler* selects the simulation backend
         (``REPRO_SCHEDULER`` or ``"coop"`` when None); *trace* enables
         event tracing (a :class:`~repro.obs.Tracer`, ``True``, or the
-        ``REPRO_TRACE`` environment variable when None)."""
+        ``REPRO_TRACE`` environment variable when None); *topology*
+        selects the interconnect (a Topology instance, a name like
+        ``"hypercube"``, or ``REPRO_TOPOLOGY`` / uniform when None)."""
         from ..interp.interpreter import default_init
 
         return run_spmd(
@@ -93,6 +96,7 @@ class CompiledProgram:
             faults=faults,
             scheduler=scheduler,
             trace=trace,
+            topology=topology,
         )
 
     def text(self) -> str:

@@ -24,7 +24,7 @@ Semantics notes
 from __future__ import annotations
 
 import os
-from typing import Callable, Optional
+from typing import Callable, Generator, Optional
 
 import numpy as np
 
@@ -34,7 +34,7 @@ from ..lang.printer import expr_str
 from ..machine.machine import Machine, ProcContext
 from ..machine.costmodel import CostModel, IPSC860
 from ..runtime.intrinsics import PURE_INTRINSICS
-from ..runtime.remap import mark_array, remap_array
+from ..runtime.remap import mark_array, remap_array, remap_array_y
 from .arrays import FArray
 
 
@@ -81,6 +81,14 @@ def default_init(name: str, indices: tuple[int, ...]) -> float:
 
 ExprFn = Callable[[Frame], object]
 StmtFn = Callable[[Frame], None]
+#: one compiled statement on a blocking path: ``(is_generator, fn)`` —
+#: generator closures are entered with ``yield from``, plain closures
+#: are called directly (they can never suspend)
+Seg = tuple[bool, Callable]
+
+#: statements that can suspend the executing rank (the matching Send
+#: side is asynchronous and never blocks)
+_BLOCKING_STMTS = (A.Recv, A.RecvPack, A.Bcast, A.GlobalReduce, A.Remap)
 
 
 def _count_ops(e: A.Expr) -> int:
@@ -117,6 +125,10 @@ class Interpreter:
         self.tracer = ctx.tracer if ctx is not None else None
         self.prints: list[str] = []
         self._compiled: dict[str, list[StmtFn]] = {}
+        #: event-backend compilation: per-unit segment lists and the set
+        #: of procedures that may suspend (built lazily by run_events)
+        self._compiled_y: dict[str, list[Seg]] = {}
+        self._blocking: Optional[set[str]] = None
         self._param_env: dict[str, dict[str, float | int]] = {}
         for unit in program.units:
             self._param_env[unit.name] = self._eval_params(unit)
@@ -134,6 +146,29 @@ class Interpreter:
         frame = self._make_frame(main, [], None)
         try:
             self._exec_unit(main, frame)
+        except _Stop:
+            pass
+        return frame
+
+    def run_events(self) -> "Generator[None, None, Frame]":
+        """Generator twin of :meth:`run` for the event-driven backend.
+
+        Yields exactly at the points where the rank genuinely suspends
+        (a RECV with no matching message, a non-last collective
+        arrival); the :class:`~repro.machine.event.EventScheduler`
+        resumes the generator when the wait is satisfied.  Statements
+        that cannot suspend run through the same compiled closures as
+        :meth:`run`, so clock charges — and therefore virtual times —
+        are bit-identical to the cooperative backend.
+        """
+        if self.ctx is None:
+            raise InterpError("run_events requires a machine context")
+        if self._blocking is None:
+            self._blocking = self._find_blocking_units()
+        main = self.program.main
+        frame = self._make_frame(main, [], None)
+        try:
+            yield from self._exec_unit_y(main, frame)
         except _Stop:
             pass
         return frame
@@ -228,6 +263,23 @@ class Interpreter:
         return v
 
     def _fill(self, arr: FArray) -> None:
+        if self.init_fn is default_init:
+            # vectorized twin of default_init: every rank fills its
+            # (global-size) arrays at startup, so the per-element
+            # Python loop is O(N) per rank — O(N·P) per run — and
+            # dominates wall time at P >= 1024.  The hash is a small
+            # modular fold over the index tuple, so broadcasting one
+            # axis at a time reproduces it bit for bit.
+            shape = arr.data.shape
+            h = np.zeros(shape, dtype=np.int64)
+            for axis, (lo, _hi) in enumerate(arr.bounds):
+                g = np.arange(lo, lo + shape[axis], dtype=np.int64)
+                g = g.reshape(
+                    [-1 if a == axis else 1 for a in range(len(shape))]
+                )
+                h = (h * 31 + g * 17) % 1013
+            arr.data[...] = 1.0 + (h % 97) / 97.0
+            return
         it = np.nditer(arr.data, flags=["multi_index"], op_flags=["writeonly"])
         los = [lo for lo, _ in arr.bounds]
         for cell in it:
@@ -264,6 +316,48 @@ class Interpreter:
         if self.ctx is not None:
             self.ctx.compute(3 + len(args))  # call overhead
         self._exec_unit(unit, callee_frame)
+        # copy-out for scalar var actuals
+        for formal, e in zip(unit.formals, arg_exprs):
+            if isinstance(e, A.Var) and e.name not in frame.arrays:
+                if formal in callee_frame.scalars:
+                    frame.scalars[e.name] = callee_frame.scalars[formal]
+        return callee_frame
+
+    def _exec_unit_y(
+        self, unit: A.Procedure, frame: Frame
+    ) -> Generator[None, None, None]:
+        """Generator twin of :meth:`_exec_unit` (event backend)."""
+        segs = self._compiled_y.get(unit.name)
+        if segs is None:
+            segs = self._compile_block_y(unit.body, unit)
+            self._compiled_y[unit.name] = segs
+        try:
+            for is_gen, fn in segs:
+                if is_gen:
+                    yield from fn(frame)
+                else:
+                    fn(frame)
+        except _Return:
+            pass
+
+    def _call_procedure_y(
+        self, name: str, arg_exprs: list[A.Expr], frame: Frame,
+        compiled_args: list[ExprFn],
+    ) -> Generator[None, None, Frame]:
+        """Generator twin of :meth:`_call_procedure`: identical binding,
+        call-overhead charge, and scalar copy-out; the callee body may
+        suspend."""
+        unit = self.program.unit(name)
+        args: list[object] = []
+        for e, fn in zip(arg_exprs, compiled_args):
+            if isinstance(e, A.Var) and e.name in frame.arrays:
+                args.append(frame.arrays[e.name])
+            else:
+                args.append(fn(frame))
+        callee_frame = self._make_frame(unit, args, frame)
+        if self.ctx is not None:
+            self.ctx.compute(3 + len(args))  # call overhead
+        yield from self._exec_unit_y(unit, callee_frame)
         # copy-out for scalar var actuals
         for formal, e in zip(unit.formals, arg_exprs):
             if isinstance(e, A.Var) and e.name not in frame.arrays:
@@ -628,6 +722,196 @@ class Interpreter:
             return run_mark
         raise InterpError(f"cannot compile statement {type(s).__name__}")
 
+    # -- event-backend (yielding) compilation --------------------------------
+    #
+    # The event scheduler runs each rank as a generator coroutine that
+    # yields only at genuine suspension points.  Compiling every
+    # statement as a generator would slow the common (non-blocking)
+    # path dramatically, so compilation is split: a fixpoint over the
+    # call graph marks the procedures that can suspend, and only
+    # statements on a blocking path become generator closures — all
+    # other statements reuse the exact closures of the plain path,
+    # grouped into straight-line segments.
+
+    def _find_blocking_units(self) -> set[str]:
+        """Procedures that may suspend: those containing a blocking
+        statement, transitively closed over CALL / function-call
+        edges."""
+        direct: set[str] = set()
+        calls: dict[str, set[str]] = {}
+        unit_names = {u.name for u in self.program.units}
+        for u in self.program.units:
+            callees: set[str] = set()
+            for s in A.walk_stmts(u.body):
+                if isinstance(s, _BLOCKING_STMTS):
+                    direct.add(u.name)
+                if isinstance(s, A.Call):
+                    callees.add(s.name)
+                for e in A.stmt_exprs(s):
+                    for sub in A.walk_exprs(e):
+                        if isinstance(sub, A.CallExpr) \
+                                and sub.name in unit_names:
+                            callees.add(sub.name)
+            calls[u.name] = callees
+        blocking = set(direct)
+        changed = True
+        while changed:
+            changed = False
+            for name, callees in calls.items():
+                if name not in blocking and callees & blocking:
+                    blocking.add(name)
+                    changed = True
+        return blocking
+
+    def _check_no_blocking_exprs(self, s: A.Stmt, unit: A.Procedure) -> None:
+        """The event backend cannot suspend in expression position (a
+        generator cannot yield from inside ``_compile_expr`` closures);
+        compiled node programs never place communication there, so this
+        is a compile-time error, not a silent wrong answer."""
+        for e in A.stmt_exprs(s):
+            for sub in A.walk_exprs(e):
+                if isinstance(sub, A.CallExpr) and sub.name in self._blocking:
+                    raise InterpError(
+                        f"{unit.name}: function {sub.name!r} communicates; "
+                        f"the event backend cannot suspend inside an "
+                        f"expression — restructure as a CALL statement"
+                    )
+
+    def _stmt_may_block(self, s: A.Stmt, unit: A.Procedure) -> bool:
+        self._check_no_blocking_exprs(s, unit)
+        if isinstance(s, _BLOCKING_STMTS):
+            return True
+        if isinstance(s, A.Call):
+            return s.name in self._blocking
+        return any(
+            self._stmt_may_block(c, unit)
+            for blk in A.child_blocks(s) for c in blk
+        )
+
+    def _compile_block_y(
+        self, body: list[A.Stmt], unit: A.Procedure
+    ) -> list[Seg]:
+        """Compile *body* into segments: runs of non-blocking statements
+        collapse to one plain closure (the fast path stays the fast
+        path); blocking statements become generator closures."""
+        segs: list[Seg] = []
+        plain: list[StmtFn] = []
+
+        def flush() -> None:
+            if not plain:
+                return
+            if len(plain) == 1:
+                segs.append((False, plain[0]))
+            else:
+                fns = tuple(plain)
+
+                def run_plain(fr: Frame, fns=fns) -> None:
+                    for fn in fns:
+                        fn(fr)
+
+                segs.append((False, run_plain))
+            plain.clear()
+
+        for s in body:
+            if self._stmt_may_block(s, unit):
+                flush()
+                segs.append((True, self._compile_stmt_y(s, unit)))
+            else:
+                plain.append(self._compile_stmt(s, unit))
+        flush()
+        return segs
+
+    def _compile_stmt_y(self, s: A.Stmt, unit: A.Procedure) -> Callable:
+        """Generator closure for one statement on a blocking path.
+        Charge ordering mirrors :meth:`_compile_stmt` exactly — the two
+        paths must produce bit-identical virtual clocks."""
+        ctx = self.ctx
+        if isinstance(s, A.If):
+            cond_fn = self._compile_expr(s.cond, unit)
+            cond_ops = _count_ops(s.cond) or 1
+            then_segs = self._compile_block_y(s.then_body, unit)
+            else_segs = self._compile_block_y(s.else_body, unit)
+            guard_tick = ctx.guard_tick
+
+            def run_if_y(fr: Frame):
+                guard_tick(cond_ops)
+                branch = then_segs if cond_fn(fr) else else_segs
+                for is_gen, fn in branch:
+                    if is_gen:
+                        yield from fn(fr)
+                    else:
+                        fn(fr)
+
+            return run_if_y
+        if isinstance(s, A.Do):
+            var = s.var
+            lo_fn = self._compile_expr(s.lo, unit)
+            hi_fn = self._compile_expr(s.hi, unit)
+            st_fn = self._compile_expr(s.step, unit)
+            body_segs = self._compile_block_y(s.body, unit)
+            loop_tick = ctx.loop_tick
+            # no try_vectorize: the vectorizer only accepts all-Assign
+            # bodies, so a loop containing communication never qualifies
+
+            def run_do_y(fr: Frame):
+                lo = int(lo_fn(fr))
+                hi = int(hi_fn(fr))
+                st = int(st_fn(fr))
+                if st == 0:
+                    raise InterpError(f"{unit.name}: zero DO step")
+                scal = fr.scalars
+                i = lo
+                while (i <= hi) if st > 0 else (i >= hi):
+                    scal[var] = i
+                    loop_tick()
+                    for is_gen, fn in body_segs:
+                        if is_gen:
+                            yield from fn(fr)
+                        else:
+                            fn(fr)
+                    i += st
+                scal[var] = i
+
+            return run_do_y
+        if isinstance(s, A.DoWhile):
+            cond_fn = self._compile_expr(s.cond, unit)
+            body_segs = self._compile_block_y(s.body, unit)
+
+            def run_while_y(fr: Frame):
+                guard = 0
+                while cond_fn(fr):
+                    guard += 1
+                    if guard > 10_000_000:
+                        raise InterpError("runaway DO WHILE")
+                    ctx.loop_tick()
+                    for is_gen, fn in body_segs:
+                        if is_gen:
+                            yield from fn(fr)
+                        else:
+                            fn(fr)
+
+            return run_while_y
+        if isinstance(s, A.Call):
+            name = s.name
+            arg_exprs = list(s.args)
+            arg_fns = [self._compile_expr(a, unit) for a in s.args]
+
+            def run_call_y(fr: Frame):
+                yield from self._call_procedure_y(name, arg_exprs, fr, arg_fns)
+
+            return run_call_y
+        if isinstance(s, (A.Recv, A.Bcast)):
+            return self._compile_comm(s, unit, yielding=True)
+        if isinstance(s, A.RecvPack):
+            return self._compile_pack(s, unit, yielding=True)
+        if isinstance(s, A.GlobalReduce):
+            return self._compile_reduce(s, unit, yielding=True)
+        if isinstance(s, A.Remap):
+            return self._compile_remap(s, unit, yielding=True)
+        raise InterpError(  # pragma: no cover - _stmt_may_block gates this
+            f"statement {type(s).__name__} cannot suspend"
+        )
+
     # -- communication statements ------------------------------------------
 
     def _compile_section(
@@ -735,7 +1019,8 @@ class Interpreter:
             return c
         return f"{unit.name}:{c}"
 
-    def _compile_comm(self, s: A.Stmt, unit: A.Procedure) -> StmtFn:
+    def _compile_comm(self, s: A.Stmt, unit: A.Procedure,
+                      yielding: bool = False) -> Callable:
         section_fn = self._compile_section(s.subs, unit)
         name = s.array
         tag = s.tag
@@ -759,6 +1044,19 @@ class Interpreter:
         if isinstance(s, A.Recv):
             src_fn = self._compile_expr(s.src, unit)
 
+            if yielding:
+                def run_recv_y(fr: Frame):
+                    arr = fr.arrays[name]
+                    view, slices, _nbytes = self._comm_entry(
+                        cache, arr, section_fn(fr)
+                    )
+                    payload = yield from self.ctx.recv_y(
+                        int(src_fn(fr)), tag, origin=origin
+                    )
+                    self._write_entry(arr, view, slices, payload)
+
+                return run_recv_y
+
             def run_recv(fr: Frame):
                 arr = fr.arrays[name]
                 view, slices, _nbytes = self._comm_entry(
@@ -771,6 +1069,31 @@ class Interpreter:
             return run_recv
         # broadcast
         root_fn = self._compile_expr(s.root, unit)
+
+        if yielding:
+            def run_bcast_y(fr: Frame):
+                arr = fr.arrays[name]
+                view, slices, nbytes = self._comm_entry(
+                    cache, arr, section_fn(fr)
+                )
+                root = int(root_fn(fr))
+                me = self.ctx.rank
+                if me == root:
+                    yield from self.ctx.broadcast_y(
+                        root,
+                        view if view is not None else arr.data[slices],
+                        nbytes, origin=origin,
+                    )
+                else:
+                    yield from self.ctx.broadcast_y(
+                        root, None, nbytes,
+                        consume=lambda data: self._write_entry(
+                            arr, view, slices, data
+                        ),
+                        origin=origin,
+                    )
+
+            return run_bcast_y
 
         def run_bcast(fr: Frame):
             arr = fr.arrays[name]
@@ -798,7 +1121,8 @@ class Interpreter:
 
         return run_bcast
 
-    def _compile_pack(self, s: A.Stmt, unit: A.Procedure) -> StmtFn:
+    def _compile_pack(self, s: A.Stmt, unit: A.Procedure,
+                      yielding: bool = False) -> Callable:
         """Aggregated multi-section messages (SendPack/RecvPack): all
         parts travel as one message (one startup charge)."""
         part_fns = [
@@ -829,6 +1153,20 @@ class Interpreter:
             return run_sendpack
         src_fn = self._compile_expr(s.src, unit)
 
+        if yielding:
+            def run_recvpack_y(fr: Frame):
+                payloads = yield from self.ctx.recv_y(
+                    int(src_fn(fr)), tag, origin=origin
+                )
+                for (array, sec_fn, cache), data in zip(part_fns, payloads):
+                    arr = fr.arrays[array]
+                    view, slices, _nb = self._comm_entry(
+                        cache, arr, sec_fn(fr)
+                    )
+                    self._write_entry(arr, view, slices, data)
+
+            return run_recvpack_y
+
         def run_recvpack(fr: Frame):
             payloads = self.ctx.recv(int(src_fn(fr)), tag, origin=origin)
             for (array, sec_fn, cache), data in zip(part_fns, payloads):
@@ -838,9 +1176,26 @@ class Interpreter:
 
         return run_recvpack
 
-    def _compile_reduce(self, s: A.GlobalReduce, unit: A.Procedure) -> StmtFn:
+    def _compile_reduce(self, s: A.GlobalReduce, unit: A.Procedure,
+                        yielding: bool = False) -> Callable:
         var, op, aux = s.var, s.op, s.aux
         origin = getattr(s, "comment", "") or f"{unit.name}:{op} {var}"
+
+        if yielding:
+            def run_reduce_y(fr: Frame):
+                if op == "maxloc":
+                    value = (fr.scalars[var], fr.scalars[aux])
+                    result = yield from self.ctx.allreduce_y(
+                        value, "maxloc", 16, origin=origin
+                    )
+                    fr.scalars[var], fr.scalars[aux] = result
+                else:
+                    result = yield from self.ctx.allreduce_y(
+                        fr.scalars[var], op, 8, origin=origin
+                    )
+                    fr.scalars[var] = result
+
+            return run_reduce_y
 
         def run_reduce(fr: Frame):
             if op == "maxloc":
@@ -855,10 +1210,21 @@ class Interpreter:
 
         return run_reduce
 
-    def _compile_remap(self, s: A.Remap, unit: A.Procedure) -> StmtFn:
+    def _compile_remap(self, s: A.Remap, unit: A.Procedure,
+                       yielding: bool = False) -> Callable:
         name = s.array
         specs = list(s.to_specs)
         origin = getattr(s, "comment", "") or f"{unit.name}:remap {name}"
+
+        if yielding:
+            def run_remap_y(fr: Frame):
+                arr = fr.arrays[name]
+                new = Distribution.from_specs(
+                    specs, arr.bounds, self.ctx.nprocs
+                )
+                yield from remap_array_y(self.ctx, arr, new, origin=origin)
+
+            return run_remap_y
 
         def run_remap(fr: Frame):
             arr = fr.arrays[name]
@@ -969,6 +1335,7 @@ def run_spmd(
     faults=None,
     scheduler: Optional[str] = None,
     trace=None,
+    topology=None,
 ) -> SPMDResult:
     """Run a compiled SPMD node program on the simulated machine.
 
@@ -980,23 +1347,41 @@ def run_spmd(
     None).  *trace* enables event tracing: a
     :class:`~repro.obs.Tracer`, ``True`` for a fresh one, or None to
     defer to ``REPRO_TRACE`` (when that names a file, the Chrome trace
-    JSON is written there after the run).
+    JSON is written there after the run).  *topology* selects the
+    interconnect (a :class:`~repro.machine.topology.Topology`, a name
+    like ``"hypercube"`` or ``"mesh2d:contention"``, or None for
+    ``REPRO_TOPOLOGY`` / uniform).
     """
     machine = Machine(nprocs, cost, timeout_s, faults=faults,
-                      scheduler=scheduler, trace=trace)
+                      scheduler=scheduler, trace=trace, topology=topology)
     prints: list[str] = []
 
-    def node(ctx: ProcContext) -> Frame:
-        interp = Interpreter(
+    def make_interp(ctx: ProcContext) -> Interpreter:
+        return Interpreter(
             program, ctx=ctx, initial_dists=initial_dists, init_fn=init_fn,
             vectorize=vectorize,
         )
-        frame = interp.run()
+
+    def finish(ctx: ProcContext, interp: Interpreter) -> None:
         ctx.stats.record_comm_cache(
             interp.comm_cache_hits, interp.comm_cache_misses
         )
         prints.extend(interp.prints)
-        return frame
+
+    if machine.scheduler == "event":
+        # generator node program: the machine drives each rank as a
+        # coroutine, suspending exactly at blocking communication
+        def node(ctx: ProcContext):
+            interp = make_interp(ctx)
+            frame = yield from interp.run_events()
+            finish(ctx, interp)
+            return frame
+    else:
+        def node(ctx: ProcContext) -> Frame:
+            interp = make_interp(ctx)
+            frame = interp.run()
+            finish(ctx, interp)
+            return frame
 
     frames = machine.run(node)
     if machine.tracer is not None and trace is None:

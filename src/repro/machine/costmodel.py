@@ -18,6 +18,18 @@ import math
 from dataclasses import dataclass
 
 
+def tree_stages(nprocs: int) -> int:
+    """Stages of a binomial spanning tree over *nprocs* ranks.
+
+    A single rank needs no tree at all (0 stages) — the degenerate
+    case the earlier ``max(1, ceil(log2 max(P, 2)))`` formula got
+    wrong by charging a single-rank collective one full stage.
+    """
+    if nprocs <= 1:
+        return 0
+    return max(1, math.ceil(math.log2(nprocs)))
+
+
 @dataclass(frozen=True)
 class CostModel:
     """All times in microseconds."""
@@ -28,13 +40,18 @@ class CostModel:
     loop_overhead: float = 0.10   # per executed loop iteration
     copy: float = 0.01            # per byte local pack/unpack
     element_bytes: int = 8        # REAL*8 elements
+    #: per-link latency beyond the first hop (non-uniform topologies;
+    #: the uniform model never charges it)
+    hop: float = 5.0
 
     def send_cost(self, nbytes: int) -> float:
         """Time the sender is busy."""
         return self.alpha + self.copy * nbytes
 
     def transfer_time(self, nbytes: int) -> float:
-        """Send-start to data-available-at-receiver latency."""
+        """Send-start to data-available-at-receiver latency (one hop;
+        topology-aware routing is layered on by
+        :meth:`~repro.machine.topology.Topology.transfer_time`)."""
         return self.alpha + self.beta * nbytes
 
     def recv_cost(self, nbytes: int) -> float:
@@ -42,20 +59,20 @@ class CostModel:
         return self.copy * nbytes
 
     def collective_cost(self, nprocs: int, nbytes: int) -> float:
-        """Tree broadcast/reduce: log2(P) stages of alpha + b*beta."""
-        stages = max(1, math.ceil(math.log2(max(nprocs, 2))))
-        return stages * (self.alpha + self.beta * nbytes)
+        """Tree broadcast/reduce: log2(P) stages of alpha + b*beta
+        (0 stages when P == 1: a single rank needs no communication)."""
+        return tree_stages(nprocs) * (self.alpha + self.beta * nbytes)
 
     def barrier_cost(self, nprocs: int) -> float:
-        stages = max(1, math.ceil(math.log2(max(nprocs, 2))))
-        return stages * self.alpha
+        return tree_stages(nprocs) * self.alpha
 
 
 #: iPSC/860-flavoured default model.
 IPSC860 = CostModel()
 
 #: A "fast network" variant for sensitivity studies (ablation benches).
-FAST_NETWORK = CostModel(alpha=10.0, beta=0.036)
+FAST_NETWORK = CostModel(alpha=10.0, beta=0.036, hop=0.5)
 
 #: Zero-cost model: pure counting (useful in unit tests).
-FREE = CostModel(alpha=0.0, beta=0.0, flop=0.0, loop_overhead=0.0, copy=0.0)
+FREE = CostModel(alpha=0.0, beta=0.0, flop=0.0, loop_overhead=0.0,
+                 copy=0.0, hop=0.0)

@@ -23,6 +23,7 @@ Resilience hooks:
 
 from __future__ import annotations
 
+import inspect
 import threading
 import time
 import traceback
@@ -44,6 +45,7 @@ from .scheduler import (
     resolve_scheduler,
 )
 from .stats import RunStats
+from .topology import Topology, resolve_topology
 from ..obs import resolve_trace
 
 
@@ -222,18 +224,28 @@ class ProcContext:
 class Machine:
     """P simulated node processors plus network and collectives.
 
-    Two interchangeable backends drive the node programs (selected via
+    Three interchangeable backends drive the node programs (selected via
     ``scheduler=`` / ``REPRO_SCHEDULER``, default ``coop``):
 
     * ``coop`` — the cooperative run-to-block scheduler
       (:mod:`repro.machine.scheduler`): one rank executes at a time,
       dispatched in deterministic (virtual time, rank) order, with no
       locks and single-rendezvous collectives;
+    * ``event`` — the event-driven rank state machine
+      (:mod:`repro.machine.event`): the same dispatch order driven by a
+      calendar heap over generator coroutines, scaling to thousands of
+      ranks;
     * ``threads`` — the free-running thread-per-rank oracle.
 
     Results, virtual clocks, and message/byte statistics are
     bit-identical across backends (virtual time is dataflow-determined;
     ``tests/test_scheduler_differential.py`` enforces it).
+
+    The interconnect defaults to the uniform linear cost model; pass
+    ``topology=`` (a name like ``"hypercube"`` / ``"torus2d:contention"``
+    or a :class:`~repro.machine.topology.Topology` instance, or set
+    ``REPRO_TOPOLOGY``) for hop-aware latencies, topology-shaped
+    collective trees, and optional deterministic link contention.
     """
 
     def __init__(
@@ -244,6 +256,7 @@ class Machine:
         faults: Optional[FaultPlan] = None,
         scheduler: Optional[str] = None,
         trace: Any = None,
+        topology: Any = None,
     ) -> None:
         if nprocs < 1:
             raise ValueError("need at least one processor")
@@ -251,13 +264,24 @@ class Machine:
         self.cost = cost
         self.faults = faults if faults is not None else FaultPlan.from_env()
         self.scheduler = resolve_scheduler(scheduler)
-        self.stats = RunStats(nprocs=nprocs, scheduler=self.scheduler)
+        self.topology: Topology = resolve_topology(topology, nprocs)
+        if self.topology.contention and self.scheduler == "threads":
+            # link-contention arrival times depend on send order; the
+            # free-running thread backend has no deterministic one
+            raise ValueError(
+                "link contention requires a deterministic scheduler "
+                "(coop or event), not threads"
+            )
+        self.stats = RunStats(nprocs=nprocs, scheduler=self.scheduler,
+                              topology=self.topology.describe())
         self.tracer = resolve_trace(trace)
         if self.tracer is not None:
             self.tracer.ensure_ranks(nprocs)
             self.tracer.meta.update(
                 nprocs=nprocs, scheduler=self.scheduler, cost=str(cost),
             )
+            if not self.topology.is_uniform:
+                self.tracer.meta["topology"] = self.topology.describe()
             if self.faults is not None:
                 self.tracer.meta["faults"] = str(self.faults)
         if self.scheduler == "coop":
@@ -267,10 +291,31 @@ class Machine:
             self.network = CoopNetwork(
                 nprocs, cost, self.stats, timeout_s,
                 faults=self.faults, scheduler=self._sched,
-                tracer=self.tracer,
+                tracer=self.tracer, topology=self.topology,
             )
             self.collectives = CoopCollectives(
                 nprocs, cost, self.stats, self._sched, tracer=self.tracer,
+                topology=self.topology,
+            )
+            self._sched.network = self.network
+        elif self.scheduler == "event":
+            from .event import (
+                EventCollectives,
+                EventNetwork,
+                EventScheduler,
+            )
+
+            self.detector = None
+            self._sched = EventScheduler(nprocs, timeout_s,
+                                         tracer=self.tracer)
+            self.network = EventNetwork(
+                nprocs, cost, self.stats, timeout_s,
+                faults=self.faults, scheduler=self._sched,
+                tracer=self.tracer, topology=self.topology,
+            )
+            self.collectives = EventCollectives(
+                nprocs, cost, self.stats, self._sched, tracer=self.tracer,
+                topology=self.topology,
             )
             self._sched.network = self.network
         else:
@@ -279,12 +324,12 @@ class Machine:
             self.network = Network(
                 nprocs, cost, self.stats, timeout_s,
                 faults=self.faults, detector=self.detector,
-                tracer=self.tracer,
+                tracer=self.tracer, topology=self.topology,
             )
             self.collectives = CollectiveContext(
                 nprocs, cost, self.stats, timeout_s,
                 detector=self.detector, network=self.network,
-                tracer=self.tracer,
+                tracer=self.tracer, topology=self.topology,
             )
             self.detector.attach(self.network, self._declare_failure)
 
@@ -320,7 +365,13 @@ class Machine:
             )
 
     def _run(self, node_program: Callable[[ProcContext], Any]) -> list[Any]:
-        contexts = [ProcContext(r, self) for r in range(self.nprocs)]
+        if self.scheduler == "event":
+            from .event import EventProcContext
+
+            ctx_cls: Any = EventProcContext
+        else:
+            ctx_cls = ProcContext
+        contexts = [ctx_cls(r, self) for r in range(self.nprocs)]
         results: list[Any] = [None] * self.nprocs
         #: (secondary, clock, rank, exc, tb) per failed rank
         errors: list[tuple[bool, float, int, BaseException, str]] = []
@@ -353,7 +404,10 @@ class Machine:
                     self.detector.finish(ctx.rank, ctx.clock, failed=failed)
 
         leaked: list[str] = []
-        if self.nprocs == 1:
+        if self.scheduler == "event":
+            self._run_events(node_program, contexts, results, errors, lock,
+                             runner)
+        elif self.nprocs == 1:
             runner(contexts[0])
         elif self._sched is not None:
             leaked = self._sched.run_fibers(
@@ -385,6 +439,65 @@ class Machine:
             raise SimulationError(
                 f"node threads failed to terminate: {leaked}"
             )
+        return self._raise_or_results(errors, results)
+
+    def _run_events(
+        self,
+        node_program: Callable[[ProcContext], Any],
+        contexts: list[ProcContext],
+        results: list[Any],
+        errors: list[tuple[bool, float, int, BaseException, str]],
+        lock: threading.Lock,
+        runner: Callable[[ProcContext], None],
+    ) -> None:
+        """Drive the run on the event backend.  Generator node programs
+        (the interpreter's event compile path, or any generator
+        function) become rank coroutines directly; plain callables are
+        carried on thread-backed fibers with identical semantics."""
+        from .event import _FiberCoroutine
+
+        sched = self._sched
+        is_coroutine = (
+            getattr(node_program, "event_coroutine", False)
+            or inspect.isgeneratorfunction(node_program)
+        )
+        if is_coroutine:
+            def runner_gen(ctx: ProcContext):
+                failed = False
+                try:
+                    results[ctx.rank] = yield from node_program(ctx)
+                except BaseException as e:  # noqa: BLE001 - see runner
+                    failed = True
+                    secondary = isinstance(e, AbortError)
+                    with lock:
+                        errors.append(
+                            (secondary, ctx.clock, ctx.rank, e,
+                             traceback.format_exc())
+                        )
+                    self.network.fail()
+                    self.collectives.abort()
+                finally:
+                    self.stats.record_proc_time(ctx.rank, ctx.clock)
+                    self.stats.record_proc_work(ctx.rank, ctx.work)
+                    sched.finish(ctx.rank, ctx.clock, failed=failed)
+
+            coros: list[Any] = [runner_gen(c) for c in contexts]
+        else:
+            coros = []
+            for c in contexts:
+                fiber = _FiberCoroutine(
+                    (lambda c=c: runner(c)), name=f"node-{c.rank}",
+                    timeout_s=self.network.timeout_s,
+                )
+                c._fiber = fiber
+                coros.append(fiber)
+        sched.run_ranks(coros)
+
+    def _raise_or_results(
+        self,
+        errors: list[tuple[bool, float, int, BaseException, str]],
+        results: list[Any],
+    ) -> list[Any]:
         if errors:
             # primary failures (real errors, deadlock declarations)
             # outrank secondary teardown aborts; ties break on virtual

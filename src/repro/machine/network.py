@@ -35,6 +35,7 @@ from .costmodel import CostModel
 from .deadlock import DeadlockDetector, DeadlockReport
 from .faults import FaultPlan
 from .stats import RunStats
+from .topology import LinkClock, Topology, UniformTopology
 
 DEFAULT_TIMEOUT_S = 60.0
 
@@ -88,6 +89,23 @@ def combine_reduction(op: str, values: list) -> Any:
     raise SimulationError(f"unknown reduction {op!r}")
 
 
+def arrival_time(
+    topo: Topology, links: Optional[LinkClock], cost: CostModel,
+    src: int, dst: int, nbytes: int, now: float,
+) -> float:
+    """Virtual time a message posted at *now* becomes available at
+    *dst*.  Shared by all three network implementations: with link
+    contention enabled the message's head is routed over the topology's
+    link path (serializing against earlier traffic), otherwise the
+    closed-form latency applies."""
+    if links is not None:
+        return links.traverse(
+            topo.link_path(src, dst), now + cost.alpha,
+            cost.beta * nbytes, cost.hop,
+        )
+    return now + topo.transfer_time(cost, nbytes, src, dst)
+
+
 @dataclass
 class _Message:
     src: int
@@ -123,6 +141,7 @@ class Network:
         faults: Optional[FaultPlan] = None,
         detector: Optional[DeadlockDetector] = None,
         tracer: Any = None,
+        topology: Optional[Topology] = None,
     ) -> None:
         self.nprocs = nprocs
         self.cost = cost
@@ -131,6 +150,9 @@ class Network:
         self.faults = faults
         self.detector = detector
         self.tracer = tracer
+        self.topo = topology if topology is not None \
+            else UniformTopology(nprocs)
+        self._links = LinkClock() if self.topo.contention else None
         self._queues: list[dict[tuple[int, int], deque[_Message]]] = [
             {} for _ in range(nprocs)
         ]
@@ -169,6 +191,11 @@ class Network:
 
     # -- traffic -------------------------------------------------------------
 
+    def _arrival(self, src: int, dst: int, nbytes: int,
+                 now: float) -> float:
+        return arrival_time(self.topo, self._links, self.cost,
+                            src, dst, nbytes, now)
+
     def send(
         self, src: int, dst: int, tag: int, payload: Any, nbytes: int,
         now: float, origin: Optional[str] = None,
@@ -183,7 +210,7 @@ class Network:
         if dst == src:
             raise SimulationError(f"processor {src} sending to itself")
         sender_after = now + self.cost.send_cost(nbytes)
-        available = now + self.cost.transfer_time(nbytes)
+        available = self._arrival(src, dst, nbytes, now)
         if self.faults is not None and self.faults.affects_messages:
             seqkey = (src, dst, tag)
             seq = self._seq.get(seqkey, 0)
@@ -198,10 +225,17 @@ class Network:
                         delay=extra, retries=retries,
                     )
         if self.tracer is not None:
-            self.tracer.rank_event(
-                src, "net.send", now, dst=dst, tag=tag, bytes=nbytes,
-                avail=available, origin=origin,
-            )
+            if self.topo.is_uniform:
+                self.tracer.rank_event(
+                    src, "net.send", now, dst=dst, tag=tag, bytes=nbytes,
+                    avail=available, origin=origin,
+                )
+            else:
+                self.tracer.rank_event(
+                    src, "net.send", now, dst=dst, tag=tag, bytes=nbytes,
+                    avail=available, origin=origin,
+                    hops=self.topo.hops(src, dst),
+                )
         msg = _Message(src, tag, payload, nbytes, available,
                        sent_at=now, origin=origin)
         key = (src, tag)
@@ -322,7 +356,8 @@ class CollectiveContext:
                  timeout_s: Optional[float] = None,
                  detector: Optional[DeadlockDetector] = None,
                  network: Optional[Network] = None,
-                 tracer: Any = None) -> None:
+                 tracer: Any = None,
+                 topology: Optional[Topology] = None) -> None:
         self.nprocs = nprocs
         self.cost = cost
         self.stats = stats
@@ -330,6 +365,8 @@ class CollectiveContext:
         self.detector = detector
         self.network = network
         self.tracer = tracer
+        self.topo = topology if topology is not None \
+            else UniformTopology(nprocs)
         self._barrier = threading.Barrier(nprocs, action=self._trip)
         self._lock = threading.Lock()
         self._slots: dict[str, Any] = {}
@@ -427,7 +464,9 @@ class CollectiveContext:
                 slot["consume"].append(consume)
         self._complete = self._finish_bcast
         self._sync(rank, "bcast")
-        t = self._maxclock + self.cost.collective_cost(self.nprocs, nbytes)
+        t = self._maxclock + self.topo.collective_cost(
+            self.cost, self.nprocs, nbytes
+        )
         if self.tracer is not None:
             self._trace_coll(rank, "bcast", now, t, nbytes, origin)
         return self._result, t
@@ -458,8 +497,8 @@ class CollectiveContext:
             slot["values"][rank] = value
         self._complete = self._finish_reduce
         self._sync(rank, "reduce")
-        t = self._maxclock + 2 * self.cost.collective_cost(
-            self.nprocs, nbytes
+        t = self._maxclock + 2 * self.topo.collective_cost(
+            self.cost, self.nprocs, nbytes
         )
         if self.tracer is not None:
             self._trace_coll(rank, "reduce", now, t, nbytes, origin)
@@ -477,7 +516,7 @@ class CollectiveContext:
                 origin: Optional[str] = None) -> float:
         self._clocks[rank] = now
         self._sync(rank, "barrier")
-        t = self._maxclock + self.cost.barrier_cost(self.nprocs)
+        t = self._maxclock + self.topo.barrier_cost(self.cost, self.nprocs)
         if self.tracer is not None:
             self._trace_coll(rank, "barrier", now, t, 0, origin)
         return t
@@ -504,8 +543,8 @@ class CollectiveContext:
             for src, (msgs, _nb) in table.items()
             if rank in msgs
         }
-        t = self._maxclock + self.cost.collective_cost(
-            self.nprocs, max(nbytes_out, 1)
+        t = self._maxclock + self.topo.collective_cost(
+            self.cost, self.nprocs, max(nbytes_out, 1)
         )
         if self.tracer is not None:
             self._trace_coll(rank, "exchange", now, t, nbytes_out, origin)

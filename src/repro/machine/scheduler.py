@@ -32,10 +32,12 @@ Ranks are carried on daemon threads used purely as coroutine frames
 but only one is ever logically runnable; a context switch is one
 ``Event.set`` plus one ``Event.wait``.
 
-Select the backend with ``Machine(scheduler="coop"|"threads")``,
+Select the backend with ``Machine(scheduler="coop"|"threads"|"event")``,
 ``REPRO_SCHEDULER`` in the environment, or ``fdc --scheduler``; ``coop``
-is the default and ``threads`` is retained as a differential oracle
-(see ``tests/test_scheduler_differential.py``).
+is the default, ``threads`` is retained as a differential oracle
+(see ``tests/test_scheduler_differential.py``), and ``event`` is the
+heap-driven backend in :mod:`repro.machine.event` that scales to
+thousands of ranks.
 """
 
 from __future__ import annotations
@@ -62,16 +64,18 @@ from .network import (
     DeadlockError,
     SimulationError,
     _Message,
+    arrival_time,
     combine_reduction,
     resolve_timeout,
 )
 from .stats import RunStats
+from .topology import LinkClock, Topology, UniformTopology
 
 #: runnable but waiting for the CPU (a delivered message or a completed
 #: collective made the rank dispatchable again)
 READY = "ready"
 
-SCHEDULERS = ("coop", "threads")
+SCHEDULERS = ("coop", "threads", "event")
 
 
 def resolve_scheduler(name: Optional[str]) -> str:
@@ -325,6 +329,7 @@ class CoopNetwork:
         faults: Optional[FaultPlan] = None,
         scheduler: Optional[CoopScheduler] = None,
         tracer: Any = None,
+        topology: Optional[Topology] = None,
     ) -> None:
         self.nprocs = nprocs
         self.cost = cost
@@ -333,6 +338,9 @@ class CoopNetwork:
         self.faults = faults
         self.sched = scheduler
         self.tracer = tracer
+        self.topo = topology if topology is not None \
+            else UniformTopology(nprocs)
+        self._links = LinkClock() if self.topo.contention else None
         self._queues: list[dict[tuple[int, int], deque[_Message]]] = [
             {} for _ in range(nprocs)
         ]
@@ -362,7 +370,8 @@ class CoopNetwork:
         if dst == src:
             raise SimulationError(f"processor {src} sending to itself")
         sender_after = now + self.cost.send_cost(nbytes)
-        available = now + self.cost.transfer_time(nbytes)
+        available = arrival_time(self.topo, self._links, self.cost,
+                                 src, dst, nbytes, now)
         if self.faults is not None and self.faults.affects_messages:
             seqkey = (src, dst, tag)
             seq = self._seq.get(seqkey, 0)
@@ -377,10 +386,17 @@ class CoopNetwork:
                         delay=extra, retries=retries,
                     )
         if self.tracer is not None:
-            self.tracer.rank_event(
-                src, "net.send", now, dst=dst, tag=tag, bytes=nbytes,
-                avail=available, origin=origin,
-            )
+            if self.topo.is_uniform:
+                self.tracer.rank_event(
+                    src, "net.send", now, dst=dst, tag=tag, bytes=nbytes,
+                    avail=available, origin=origin,
+                )
+            else:
+                self.tracer.rank_event(
+                    src, "net.send", now, dst=dst, tag=tag, bytes=nbytes,
+                    avail=available, origin=origin,
+                    hops=self.topo.hops(src, dst),
+                )
         key = (src, tag)
         q = self._queues[dst].get(key)
         if q is None:
@@ -453,12 +469,15 @@ class CoopCollectives:
     """
 
     def __init__(self, nprocs: int, cost: CostModel, stats: RunStats,
-                 scheduler: CoopScheduler, tracer: Any = None) -> None:
+                 scheduler: CoopScheduler, tracer: Any = None,
+                 topology: Optional[Topology] = None) -> None:
         self.nprocs = nprocs
         self.cost = cost
         self.stats = stats
         self.sched = scheduler
         self.tracer = tracer
+        self.topo = topology if topology is not None \
+            else UniformTopology(nprocs)
         self._slots: dict[str, Any] = {}
         self._clocks = [0.0] * nprocs
         self._arrived = 0
@@ -501,15 +520,11 @@ class CoopCollectives:
             maxclock=self._maxclock, maxrank=self._maxrank, origin=origin,
         )
 
-    def broadcast(self, rank: int, root: int, payload: Any, nbytes: int,
-                  now: float, consume: Any = None,
-                  origin: Optional[str] = None) -> tuple[Any, float]:
-        """All nodes call; returns (payload, new clock).
+    # -- shared slot/completion builders (also used by the event
+    # -- backend's generator variants in repro.machine.event) --------------
 
-        *consume* callbacks all run inside the completion, before any
-        participant resumes — so the root may pass a zero-copy view of
-        its own array and still mutate it freely afterwards.
-        """
+    def _begin_bcast(self, rank: int, root: int, payload: Any, nbytes: int,
+                     consume: Any) -> Callable[[], Any]:
         slot = self._slots.setdefault("bcast", {"consume": []})
         if rank == root:
             slot["data"] = payload
@@ -525,16 +540,10 @@ class CoopCollectives:
             self.stats.record_collective(s["nbytes"])
             return data
 
-        self._rendezvous(rank, "bcast", now, complete)
-        t = self._maxclock + self.cost.collective_cost(self.nprocs, nbytes)
-        if self.tracer is not None:
-            self._trace_coll(rank, "bcast", now, t, nbytes, origin)
-        return self._result, t
+        return complete
 
-    def allreduce(self, rank: int, value: Any, op: str, nbytes: int,
-                  now: float,
-                  origin: Optional[str] = None) -> tuple[Any, float]:
-        """Combining all-reduce, rank-ordered for determinism."""
+    def _begin_reduce(self, rank: int, value: Any, op: str,
+                      nbytes: int) -> Callable[[], Any]:
         self._slots.setdefault("reduce", {})[rank] = value
 
         def complete() -> Any:
@@ -544,26 +553,10 @@ class CoopCollectives:
             self.stats.record_collective(nbytes * self.nprocs)
             return result
 
-        self._rendezvous(rank, "reduce", now, complete)
-        t = self._maxclock + 2 * self.cost.collective_cost(
-            self.nprocs, nbytes
-        )
-        if self.tracer is not None:
-            self._trace_coll(rank, "reduce", now, t, nbytes, origin)
-        return self._result, t
+        return complete
 
-    def barrier(self, rank: int, now: float,
-                origin: Optional[str] = None) -> float:
-        self._rendezvous(rank, "barrier", now, lambda: None)
-        t = self._maxclock + self.cost.barrier_cost(self.nprocs)
-        if self.tracer is not None:
-            self._trace_coll(rank, "barrier", now, t, 0, origin)
-        return t
-
-    def exchange(self, rank: int, outgoing: dict[int, Any], nbytes_out: int,
-                 now: float,
-                 origin: Optional[str] = None) -> tuple[dict[int, Any], float]:
-        """All-to-all personalized exchange (the remap runtime)."""
+    def _begin_exchange(self, rank: int, outgoing: dict[int, Any],
+                        nbytes_out: int) -> Callable[[], Any]:
         self._slots.setdefault("exchange", {})[rank] = (outgoing, nbytes_out)
 
         def complete() -> Any:
@@ -574,15 +567,65 @@ class CoopCollectives:
                 self.stats.record_exchange(nmsgs, nbytes)
             return table
 
-        self._rendezvous(rank, "exchange", now, complete)
+        return complete
+
+    def _incoming_of(self, rank: int) -> dict[int, Any]:
+        """Extract *rank*'s incoming payloads from an exchange result."""
         table = self._result
-        incoming = {
+        return {
             src: msgs[rank]
             for src, (msgs, _nb) in table.items()
             if rank in msgs
         }
-        t = self._maxclock + self.cost.collective_cost(
-            self.nprocs, max(nbytes_out, 1)
+
+    def broadcast(self, rank: int, root: int, payload: Any, nbytes: int,
+                  now: float, consume: Any = None,
+                  origin: Optional[str] = None) -> tuple[Any, float]:
+        """All nodes call; returns (payload, new clock).
+
+        *consume* callbacks all run inside the completion, before any
+        participant resumes — so the root may pass a zero-copy view of
+        its own array and still mutate it freely afterwards.
+        """
+        complete = self._begin_bcast(rank, root, payload, nbytes, consume)
+        self._rendezvous(rank, "bcast", now, complete)
+        t = self._maxclock + self.topo.collective_cost(
+            self.cost, self.nprocs, nbytes
+        )
+        if self.tracer is not None:
+            self._trace_coll(rank, "bcast", now, t, nbytes, origin)
+        return self._result, t
+
+    def allreduce(self, rank: int, value: Any, op: str, nbytes: int,
+                  now: float,
+                  origin: Optional[str] = None) -> tuple[Any, float]:
+        """Combining all-reduce, rank-ordered for determinism."""
+        complete = self._begin_reduce(rank, value, op, nbytes)
+        self._rendezvous(rank, "reduce", now, complete)
+        t = self._maxclock + 2 * self.topo.collective_cost(
+            self.cost, self.nprocs, nbytes
+        )
+        if self.tracer is not None:
+            self._trace_coll(rank, "reduce", now, t, nbytes, origin)
+        return self._result, t
+
+    def barrier(self, rank: int, now: float,
+                origin: Optional[str] = None) -> float:
+        self._rendezvous(rank, "barrier", now, lambda: None)
+        t = self._maxclock + self.topo.barrier_cost(self.cost, self.nprocs)
+        if self.tracer is not None:
+            self._trace_coll(rank, "barrier", now, t, 0, origin)
+        return t
+
+    def exchange(self, rank: int, outgoing: dict[int, Any], nbytes_out: int,
+                 now: float,
+                 origin: Optional[str] = None) -> tuple[dict[int, Any], float]:
+        """All-to-all personalized exchange (the remap runtime)."""
+        complete = self._begin_exchange(rank, outgoing, nbytes_out)
+        self._rendezvous(rank, "exchange", now, complete)
+        incoming = self._incoming_of(rank)
+        t = self._maxclock + self.topo.collective_cost(
+            self.cost, self.nprocs, max(nbytes_out, 1)
         )
         if self.tracer is not None:
             self._trace_coll(rank, "exchange", now, t, nbytes_out, origin)

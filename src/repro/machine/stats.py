@@ -7,6 +7,7 @@ benchmark harness reports for every reproduced table/figure.
 
 from __future__ import annotations
 
+import os
 import threading
 from dataclasses import dataclass, field
 
@@ -36,9 +37,11 @@ class RunStats:
     #: scheduler-backend bookkeeping (host-side observability; never
     #: part of the simulated quantities above)
     scheduler: str = ""          # backend that produced this run
+    topology: str = "uniform"    # interconnect topology (+":contention")
+    host_cpus: int = field(default_factory=lambda: os.cpu_count() or 1)
     wall_s: float = 0.0          # host wall clock of Machine.run
-    dispatches: int = 0          # rank dispatches (coop) / thread starts
-    switches: int = 0            # fiber context switches (coop only)
+    dispatches: int = 0          # rank dispatches (coop/event) / starts
+    switches: int = 0            # context switches (coop/event only)
     #: interpreter communication-schedule cache (resolved sections
     #: memoized per CommAction per rank)
     comm_cache_hits: int = 0
@@ -60,9 +63,13 @@ class RunStats:
             self.collectives += 1
             self.collective_bytes += nbytes
 
-    def record_remap(self, nbytes: int) -> None:
+    def record_remap(self, nbytes: int, count: int = 1) -> None:
+        """Remap traffic: *nbytes* of redistribution payload and *count*
+        remap operations.  Ranks report their own outgoing volume with
+        ``count=0`` (summed over ranks that equals the total data
+        moved); rank 0 counts the operation itself."""
         with self._lock:
-            self.remaps += 1
+            self.remaps += count
             self.remap_bytes += nbytes
 
     def record_exchange(self, nmsgs: int, nbytes: int) -> None:
@@ -179,6 +186,8 @@ class RunStats:
                     for r in sorted(self.proc_work)
                 },
                 "scheduler": self.scheduler,
+                "topology": self.topology,
+                "host_cpus": self.host_cpus,
                 "wall_s": self.wall_s,
                 "dispatches": self.dispatches,
                 "switches": self.switches,
@@ -204,7 +213,9 @@ class RunStats:
         ran, how long it took on the host, and how hard the dispatch
         and comm-schedule-cache machinery worked."""
         return (
-            f"scheduler={self.scheduler or '?'}  wall={self.wall_s:.3f} s  "
+            f"scheduler={self.scheduler or '?'}  "
+            f"topology={self.topology or 'uniform'}  "
+            f"wall={self.wall_s:.3f} s  "
             f"dispatches={self.dispatches}  switches={self.switches}  "
             f"comm-cache={self.comm_cache_hits}/"
             f"{self.comm_cache_hits + self.comm_cache_misses} hits"

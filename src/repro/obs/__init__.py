@@ -29,6 +29,7 @@ from .profile import (
     comm_hotspots,
     comm_matrix,
     critical_path,
+    link_traffic,
     path_length,
     profile_report,
 )
@@ -42,6 +43,7 @@ __all__ = [
     "comm_hotspots",
     "comm_matrix",
     "critical_path",
+    "link_traffic",
     "path_length",
     "profile_report",
 ]

@@ -88,6 +88,38 @@ def comm_matrix(tracer: Tracer) -> tuple[list[list[int]], list[list[float]]]:
     return msgs, byts
 
 
+def link_traffic(
+    tracer: Tracer, topology
+) -> tuple[dict[tuple, dict], dict[int, int]]:
+    """Per-link traffic under *topology*: every point-to-point message
+    and exchange transfer is routed along ``topology.link_path(src,
+    dst)`` and charged to each directed link it crosses.
+
+    Returns ``(links, hop_histogram)`` where *links* maps each link
+    label to ``{"msgs": n, "bytes": b}`` and *hop_histogram* maps hop
+    count to number of messages.  Under a non-uniform topology this is
+    the congestion picture the uniform model cannot see: a 2D-mesh
+    transpose funnels traffic through central links even though the
+    rank x rank matrix looks perfectly balanced.
+    """
+    links: dict[tuple, dict] = {}
+    hops: dict[int, int] = {}
+    for evs in tracer.rank_events:
+        for ev in evs:
+            if ev["kind"] not in ("net.send", "net.exchange"):
+                continue
+            path = topology.link_path(ev["rank"], ev["dst"])
+            hops[len(path)] = hops.get(len(path), 0) + 1
+            nbytes = ev.get("bytes", 0)
+            for link in path:
+                row = links.get(link)
+                if row is None:
+                    row = links[link] = {"msgs": 0, "bytes": 0.0}
+                row["msgs"] += 1
+                row["bytes"] += nbytes
+    return links, hops
+
+
 # ---------------------------------------------------------------------------
 # critical path
 # ---------------------------------------------------------------------------
@@ -215,13 +247,22 @@ def _fmt_origin(row: dict) -> str:
     return f"{proc}: {origin}" if proc != "?" else origin
 
 
+def _fmt_link(link: tuple) -> str:
+    a, b = link
+    return f"{a}->{b}"
+
+
 def profile_report(
     tracer: Tracer,
     stats,
     max_hotspots: int = 20,
     max_segments: int = 40,
+    topology=None,
 ) -> str:
-    """The ``fdc --profile`` report: hot spots, matrix, critical path."""
+    """The ``fdc --profile`` report: hot spots, matrix, critical path,
+    and — when *topology* is a non-uniform
+    :class:`~repro.machine.topology.Topology` — per-link traffic with a
+    hop-count histogram."""
     lines: list[str] = []
     rows = comm_hotspots(tracer)
     lines.append("communication hot spots (by provenance):")
@@ -247,6 +288,34 @@ def profile_report(
         lines.append(
             f"  {s:>7} " + "".join(f"{msgs[s][d]:>8}" for d in range(P))
         )
+
+    if topology is not None and topology.name != "uniform":
+        links, hops = link_traffic(tracer, topology)
+        lines.append("")
+        lines.append(
+            f"per-link traffic (topology={topology.describe()}, "
+            f"busiest first):"
+        )
+        if links:
+            ranked = sorted(
+                links.items(),
+                key=lambda kv: (-kv[1]["bytes"], -kv[1]["msgs"],
+                                str(kv[0])),
+            )
+            lines.append(f"  {'msgs':>7} {'bytes':>10}  link")
+            for link, row in ranked[:max_hotspots]:
+                lines.append(
+                    f"  {row['msgs']:>7} {row['bytes']:>10.0f}  "
+                    f"{_fmt_link(link)}"
+                )
+            if len(ranked) > max_hotspots:
+                lines.append(f"  ... {len(ranked) - max_hotspots} more")
+            lines.append("  hop histogram: " + "  ".join(
+                f"{h} hop{'s' if h != 1 else ''}={n} msgs"
+                for h, n in sorted(hops.items())
+            ))
+        else:
+            lines.append("  (no point-to-point traffic recorded)")
 
     segs = critical_path(tracer, stats.proc_times)
     total = path_length(segs)

@@ -46,15 +46,11 @@ def transfer_sections(
     return out
 
 
-def remap_array(ctx: "ProcContext", arr: "FArray", new: Distribution,
-                origin: str = None) -> None:
-    """Physically redistribute *arr* to *new* (collective)."""
-    old = arr.dist
-    if old is None:
-        old = Distribution.replicated(arr.bounds, ctx.nprocs)
-    if old.same_mapping(new):
-        arr.dist = new
-        return
+def _build_outgoing(
+    ctx: "ProcContext", arr: "FArray", old: Distribution, new: Distribution
+) -> tuple[dict[int, list], int]:
+    """Read out the sections this rank must ship: ``{dst: [(subs,
+    payload), ...]}`` plus the total outgoing byte count."""
     me = ctx.rank
     outgoing: dict[int, list] = {}
     out_bytes = 0
@@ -71,14 +67,63 @@ def remap_array(ctx: "ProcContext", arr: "FArray", new: Distribution,
             bundle.append((subs, payload))
             out_bytes += payload.size * arr.element_bytes
         outgoing[dst] = bundle
-    incoming = ctx.exchange(outgoing, out_bytes, origin=origin)
+    return outgoing, out_bytes
+
+
+def _apply_incoming(
+    ctx: "ProcContext", arr: "FArray", incoming: dict[int, list],
+    new: Distribution, out_bytes: int,
+) -> None:
+    """Write received sections and record the new distribution.
+
+    Each rank records its own outgoing volume; summed over ranks that
+    equals the total data moved (what :func:`_total_moved` computes),
+    without the O(P^2) all-pairs section scan that dominated large-P
+    runs.  Rank 0 counts the remap operation itself."""
     for _src, bundle in incoming.items():
         for subs, payload in bundle:
             arr.write_section(subs, payload)
     arr.dist = new
-    if me == 0:
-        ctx.stats.record_remap(_total_moved(old, new, ctx.nprocs,
-                                            arr.element_bytes))
+    ctx.stats.record_remap(out_bytes, count=1 if ctx.rank == 0 else 0)
+
+
+def _remap_prologue(
+    ctx: "ProcContext", arr: "FArray", new: Distribution
+) -> Distribution | None:
+    """Common entry: returns the effective old distribution, or None
+    when the remap is mapping-identical (recorded in place, no data
+    motion)."""
+    old = arr.dist
+    if old is None:
+        old = Distribution.replicated(arr.bounds, ctx.nprocs)
+    if old.same_mapping(new):
+        arr.dist = new
+        return None
+    return old
+
+
+def remap_array(ctx: "ProcContext", arr: "FArray", new: Distribution,
+                origin: str = None) -> None:
+    """Physically redistribute *arr* to *new* (collective)."""
+    old = _remap_prologue(ctx, arr, new)
+    if old is None:
+        return
+    outgoing, out_bytes = _build_outgoing(ctx, arr, old, new)
+    incoming = ctx.exchange(outgoing, out_bytes, origin=origin)
+    _apply_incoming(ctx, arr, incoming, new, out_bytes)
+
+
+def remap_array_y(ctx: "ProcContext", arr: "FArray", new: Distribution,
+                  origin: str = None):
+    """Generator twin of :func:`remap_array` for the event-driven
+    backend: identical section math and stats, but the all-to-all
+    exchange suspends the rank coroutine instead of parking a fiber."""
+    old = _remap_prologue(ctx, arr, new)
+    if old is None:
+        return
+    outgoing, out_bytes = _build_outgoing(ctx, arr, old, new)
+    incoming = yield from ctx.exchange_y(outgoing, out_bytes, origin=origin)
+    _apply_incoming(ctx, arr, incoming, new, out_bytes)
 
 
 def mark_array(arr: "FArray", new: Distribution) -> None:

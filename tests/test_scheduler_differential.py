@@ -1,13 +1,14 @@
-"""Cross-backend differential suite: coop scheduler vs thread oracle.
+"""Cross-backend differential suite: coop scheduler vs thread oracle
+vs the event-driven core.
 
-The cooperative run-to-block scheduler must be an *invisible* change:
-virtual time is dataflow-determined (a recv completes at
-``max(own clock, arrival)``, a collective at ``max(participant
-clocks) + tree cost``), so per-rank arrays, virtual clocks, and
-delivery statistics are bit-identical whichever backend drives the
-ranks — under fault plans and under both execution paths.  This suite
-enforces that, plus determinism of the scheduler itself and the
-equivalence of the communication-schedule cache.
+The scheduler backend must be an *invisible* change: virtual time is
+dataflow-determined (a recv completes at ``max(own clock, arrival)``,
+a collective at ``max(participant clocks) + tree cost``), so per-rank
+arrays, virtual clocks, and delivery statistics are bit-identical
+whichever backend drives the ranks — under fault plans and under both
+execution paths.  This suite enforces that for all three backends,
+plus determinism of the schedulers themselves and the equivalence of
+the communication-schedule cache.
 """
 
 from __future__ import annotations
@@ -80,6 +81,9 @@ def test_apps_bit_identical_across_backends(src, init, seed, vectorize):
     coop = _run(cp, init, "coop", faults=plan, vectorize=vectorize)
     threads = _run(cp, init, "threads", faults=plan, vectorize=vectorize)
     _assert_identical(coop, threads, f"seed={seed} vec={vectorize}")
+    event = _run(cp, init, "event", faults=plan, vectorize=vectorize)
+    _assert_identical(coop, event, f"event seed={seed} vec={vectorize}")
+    assert coop.prints == event.prints
 
 
 @pytest.mark.parametrize("mode", [Mode.INTER, Mode.RTR],
@@ -88,18 +92,20 @@ def test_modes_bit_identical_across_backends(mode):
     """RTR's element-grain messaging stresses the comm path hardest."""
     cp = compile_program(stencil1d_source(64, 2),
                          Options(nprocs=4, mode=mode))
-    _assert_identical(
-        _run(cp, None, "coop"), _run(cp, None, "threads"), mode.value
-    )
+    coop = _run(cp, None, "coop")
+    _assert_identical(coop, _run(cp, None, "threads"), mode.value)
+    _assert_identical(coop, _run(cp, None, "event"),
+                      f"event {mode.value}")
 
 
-def test_coop_run_is_deterministic():
-    """Two coop runs agree on everything including the scheduler's own
+@pytest.mark.parametrize("scheduler", ["coop", "event"])
+def test_deterministic_backends_repeat_exactly(scheduler):
+    """Two runs agree on everything including the scheduler's own
     counters — dispatch order is a pure function of (clock, rank)."""
     cp = compile_program(stencil1d_source(128, 4),
                          Options(nprocs=4, mode=Mode.INTER))
-    a = _run(cp, None, "coop", faults=_chaos_plan(1))
-    b = _run(cp, None, "coop", faults=_chaos_plan(1))
+    a = _run(cp, None, scheduler, faults=_chaos_plan(1))
+    b = _run(cp, None, scheduler, faults=_chaos_plan(1))
     _assert_identical(a, b, "repeat")
     assert a.stats.dispatches == b.stats.dispatches
     assert a.stats.switches == b.stats.switches
@@ -137,6 +143,9 @@ def test_env_selects_backend(monkeypatch):
     monkeypatch.setenv("REPRO_SCHEDULER", "threads")
     assert resolve_scheduler(None) == "threads"
     assert Machine(2).scheduler == "threads"
+    monkeypatch.setenv("REPRO_SCHEDULER", "event")
+    assert resolve_scheduler(None) == "event"
+    assert Machine(2).scheduler == "event"
     # an explicit argument wins over the environment
     assert resolve_scheduler("coop") == "coop"
     assert Machine(2, scheduler="coop").scheduler == "coop"
@@ -158,3 +167,7 @@ def test_cli_scheduler_flag(tmp_path, capsys):
                "--scheduler", "threads"])
     assert rc == 0
     assert "scheduler=threads" in capsys.readouterr().out
+    rc = main([str(f), "--run", "--no-text", "--report",
+               "--scheduler", "event"])
+    assert rc == 0
+    assert "scheduler=event" in capsys.readouterr().out
