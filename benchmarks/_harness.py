@@ -33,13 +33,20 @@ def emit_bench(name: str, payload: dict) -> Path:
     paper-style tables and are uploaded as CI artifacts.
 
     Every payload is made self-describing: the active scheduler
-    backend, topology, and host CPU count are stamped in (explicit
-    keys set by the benchmark win) so a downloaded artifact identifies
-    the configuration that produced it without consulting CI logs.
+    backend, topology, host CPU count, and execution path
+    (vectorization and node-program codegen switches) are stamped in
+    (explicit keys set by the benchmark win) so a downloaded artifact
+    identifies the configuration that produced it without consulting
+    CI logs.
     """
+    from repro.codegen import enabled as codegen_enabled
+    from repro.interp.vectorize import enabled as vectorize_enabled
+
     payload.setdefault("scheduler", resolve_scheduler(None))
     payload.setdefault("topology", resolve_topology(None, 1).describe())
     payload.setdefault("host_cpus", os.cpu_count() or 1)
+    payload.setdefault("vectorize", vectorize_enabled(None))
+    payload.setdefault("codegen", codegen_enabled(None))
     out = REPO_ROOT / f"BENCH_{name}.json"
     out.write_text(
         json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n"

@@ -26,6 +26,7 @@ import sys
 import numpy as np
 
 from .core import DynOpt, Mode, Options, compile_program
+from .core.driver import compile_cache_stats
 from .core.localize import localized_procedure_text
 from .dist import Distribution
 from .interp import run_sequential
@@ -109,6 +110,15 @@ def build_parser() -> argparse.ArgumentParser:
                         "path (implies --run)")
     p.add_argument("--stats-json", metavar="FILE",
                    help="with --run: write RunStats.as_dict() as JSON")
+    p.add_argument("--codegen", dest="codegen", action="store_true",
+                   default=None,
+                   help="run generated node-program modules "
+                        "(REPRO_CODEGEN, default on)")
+    p.add_argument("--no-codegen", dest="codegen", action="store_false",
+                   help="force the closure-tree interpreter")
+    p.add_argument("--codegen-dump", metavar="FILE",
+                   help="write the generated node-program source for "
+                        "every rank class to FILE ('-' for stdout)")
     return p
 
 
@@ -179,6 +189,26 @@ def main(argv: list[str] | None = None) -> int:
         for (proc, arr), offs in sorted(r.overlaps.items()):
             print(f"! overlap {proc}.{arr}: {offs}")
 
+    if args.codegen_dump:
+        from .codegen import get_generated
+        from .interp.vectorize import enabled as vec_enabled
+
+        try:
+            gen, _, _ = get_generated(cp.program, opts.nprocs,
+                                      vec_enabled(None),
+                                      strict=args.strict)
+        except Exception as e:
+            print(f"fdc: codegen failed: {e}", file=sys.stderr)
+            return 1
+        dump = gen.dump()
+        if args.codegen_dump == "-":
+            print(dump)
+        else:
+            with open(args.codegen_dump, "w") as f:
+                f.write(dump)
+            print(f"! codegen: {len(gen.modules)} rank-class modules -> "
+                  f"{args.codegen_dump}")
+
     if args.localize:
         try:
             proc = cp.program.unit(args.localize)
@@ -217,13 +247,17 @@ def main(argv: list[str] | None = None) -> int:
                          timeout_s=args.timeout,
                          scheduler=args.scheduler,
                          trace=tracer,
-                         topology=args.topology)
+                         topology=args.topology,
+                         codegen=args.codegen)
         except (SimulationError, ValueError) as e:
             print(f"fdc: simulation failed: {e}", file=sys.stderr)
             return 1
         print(f"! {res.stats.summary()}")
         if args.report:
             print(f"! {res.stats.sched_summary()}")
+            cc = compile_cache_stats()
+            print(f"! compile-cache={cc['hits']}/"
+                  f"{cc['hits'] + cc['misses']} hits")
         if args.stats_json:
             with open(args.stats_json, "w") as f:
                 json.dump(res.stats.as_dict(), f, indent=2, sort_keys=True)

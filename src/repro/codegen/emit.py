@@ -1,0 +1,1202 @@
+"""Python source generation for compiled node programs.
+
+The interpreter executes a compiled procedure by walking a tree of
+closures; this module instead *prints* the procedure as straight-line
+Python — scalar reads/writes against ``fr.scalars``, direct numpy
+indexing against each array's buffer, inline virtual-clock charges, and
+explicit ``send/recv/bcast/allreduce/remap`` calls at the placements the
+compiler chose.  One module is generated per **rank class** (lo / mid /
+hi — see :func:`repro.codegen.rank_classes`) so that processor-identity
+guards like ``if (my$p .eq. 0)`` fold away statically for the interior
+ranks.
+
+Two variants of each procedure may be emitted:
+
+* a plain function ``fn(rt, fr)`` for the coop/threads backends, and
+* a generator ``fn_y(rt, fr)`` for the event backend that yields at
+  exactly the suspension points of the interpreter's blocking-units
+  fixpoint (``find_blocking_units``).
+
+The generated code must be **bit-identical** to the interpreter in
+arrays, virtual clocks, and RunStats: every ``compute``/``loop_tick``/
+``guard_tick`` charge is emitted in the interpreter's order, affine
+loop nests are vectorized under exactly the legality rules of
+:mod:`repro.interp.vectorize` (same runtime checks, same trace event),
+and communication sections go through the interpreter's memoized
+``_comm_entry`` so cache counters and trace events match.
+
+Any construct without a generated equivalent raises :class:`Unsupported`
+and the whole procedure demotes to the interpreter (see
+:mod:`repro.codegen`) — never a hard failure unless ``--strict``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from ..interp.interpreter import (
+    _BLOCKING_STMTS,
+    Interpreter,
+    _count_ops,
+    find_blocking_units,
+)
+from ..interp.vectorize import _INVARIANT_OK_CALLS, MIN_BLOCK, _mentions
+from ..lang import ast as A
+from ..runtime.intrinsics import PURE_INTRINSICS
+
+
+class Unsupported(Exception):
+    """A construct the emitter cannot lower; the procedure demotes."""
+
+
+#: Test hook — statement classes the emitter must refuse.  Lets the
+#: suite force the per-procedure demotion path on ordinary programs
+#: (monkeypatched; consulted on every statement).
+UNSUPPORTED_STMTS: tuple = ()
+
+
+class _VecReject(Exception):
+    """Internal: loop nest not vectorizable; emit the scalar loop."""
+
+
+#: Fortran binary operators with a direct Python spelling.
+_BIN_PY = {
+    "+": "+", "-": "-", "*": "*", "**": "**",
+    "==": "==", "/=": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">=",
+}
+
+#: comparison flip for normalizing ``const OP rank`` to ``rank OP const``
+_CMP_FLIP = {"<": ">", "<=": ">=", ">": "<", ">=": "<=",
+             "==": "==", "/=": "/="}
+
+#: single-argument vector intrinsics -> numpy source template
+_VEC_CALL_SRC = {
+    "f": "f_func({0})",
+    "g": "g_func({0})",
+    "abs": "np.abs({0})",
+    "sqrt": "np.sqrt({0})",
+}
+
+
+def scalar_type(unit: A.Procedure, name: str) -> str:
+    """Mirror of ``Interpreter._scalar_type`` (declaration wins, else
+    the I-N implicit-integer rule)."""
+    d = unit.decl(name)
+    if d is not None:
+        return d.type
+    return "integer" if name[0] in "ijklmn" else "real"
+
+
+def _const_int(e: A.Expr) -> Optional[int]:
+    if isinstance(e, A.Num) and isinstance(e.value, int):
+        return e.value
+    if isinstance(e, A.UnOp) and e.op == "-" \
+            and isinstance(e.operand, A.Num) \
+            and isinstance(e.operand.value, int):
+        return -e.operand.value
+    return None
+
+
+def emit_module(program: A.Program, nprocs: int, cls: str,
+                rlo: int, rhi: int, vectorize: bool, header: str) -> str:
+    """Generate the node-program module source for one rank class.
+
+    ``header`` becomes the first line verbatim (the disk cache uses it
+    to validate an entry before trusting it)."""
+    return _ModuleEmitter(
+        program, nprocs, cls, rlo, rhi, vectorize, header
+    ).emit()
+
+
+# --------------------------------------------------------------------------
+# module-level emission
+# --------------------------------------------------------------------------
+
+
+class _ModuleEmitter:
+    def __init__(self, program: A.Program, nprocs: int, cls: str,
+                 rlo: int, rhi: int, vectorize: bool, header: str) -> None:
+        self.program = program
+        self.nprocs = nprocs
+        self.cls = cls
+        self.rlo = rlo
+        self.rhi = rhi
+        self.vectorize = vectorize
+        self.header = header
+        self.blocking = find_blocking_units(program)
+        self.unit_names = {u.name for u in program.units}
+        self._sid = 0
+        self._intrinsics: dict[str, str] = {}
+        self._specs: dict[tuple, str] = {}
+        self._fn_idents: set[str] = set()
+
+    # -- registries shared by all function emitters ------------------------
+
+    def next_sid(self) -> int:
+        """Static id of one communication statement: its section cache
+        in :class:`~repro.codegen.runtime.NodeRt` (one per statement,
+        exactly like the interpreter's per-closure caches)."""
+        self._sid += 1
+        return self._sid
+
+    def intrinsic(self, name: str) -> str:
+        ident = self._intrinsics.get(name)
+        if ident is None:
+            ident = self._intrinsics[name] = f"_in_{name}"
+        return ident
+
+    def specs_const(self, specs) -> str:
+        for sp in specs:
+            if sp.param is not None and not isinstance(sp.param, int):
+                raise Unsupported(f"distribution parameter {sp.param!r}")
+        key = tuple((sp.kind, sp.param) for sp in specs)
+        ident = self._specs.get(key)
+        if ident is None:
+            ident = self._specs[key] = f"_SPECS_{len(self._specs)}"
+        return ident
+
+    def fn_ident(self, unit_name: str, y: bool) -> str:
+        base = "_u_" + re.sub(r"\W", "_", unit_name) + ("_y" if y else "")
+        ident, k = base, 2
+        while ident in self._fn_idents:
+            ident = f"{base}{k}"
+            k += 1
+        self._fn_idents.add(ident)
+        return ident
+
+    # -- driver ------------------------------------------------------------
+
+    def emit(self) -> str:
+        fns: list[str] = []
+        units: dict[str, str] = {}
+        units_y: dict[str, str] = {}
+        demoted: dict[str, str] = {}
+        demoted_y: dict[str, str] = {}
+        for u in self.program.units:
+            try:
+                src, ident = _FnEmitter(self, u, y=False).emit()
+                fns.append(src)
+                units[u.name] = ident
+            except Unsupported as ex:
+                demoted[u.name] = str(ex)
+            except Exception as ex:  # defensive: demote, never fail
+                demoted[u.name] = f"internal: {type(ex).__name__}: {ex}"
+            if u.name in self.blocking:
+                if u.name in demoted:
+                    demoted_y[u.name] = demoted[u.name]
+                    continue
+                try:
+                    src, ident = _FnEmitter(self, u, y=True).emit()
+                    fns.append(src)
+                    units_y[u.name] = ident
+                except Unsupported as ex:
+                    demoted_y[u.name] = str(ex)
+                except Exception as ex:
+                    demoted_y[u.name] = \
+                        f"internal: {type(ex).__name__}: {ex}"
+        return self._assemble(fns, units, units_y, demoted, demoted_y)
+
+    def _assemble(self, fns, units, units_y, demoted, demoted_y) -> str:
+        out = [self.header]
+        out.append('"""Auto-generated node program — do not edit.')
+        out.append("")
+        out.append(f"rank class {self.cls!r}: ranks {self.rlo}..{self.rhi} "
+                   f"of {self.nprocs}; vectorize={self.vectorize}")
+        out.append('"""')
+        out.append("")
+        out.append("import numpy as np")
+        out.append("")
+        out.append("from repro.codegen.runtime import ax_slice, fdiv")
+        out.append("from repro.interp.interpreter import InterpError, _Stop")
+        out.append("from repro.interp.vectorize import _fortran_div as _vdiv")
+        out.append("from repro.lang.ast import DistSpec")
+        out.append("from repro.runtime.intrinsics import "
+                   "PURE_INTRINSICS, f_func, g_func")
+        out.append("")
+        out.append(f"RANK_CLASS = {self.cls!r}")
+        out.append(f"RANK_LO, RANK_HI = {self.rlo}, {self.rhi}")
+        out.append(f"NPROCS = {self.nprocs}")
+        blocking = sorted(self.blocking)
+        out.append(f"BLOCKING = frozenset({blocking!r})")
+        for name in sorted(self._intrinsics):
+            out.append(f"{self._intrinsics[name]} = "
+                       f"PURE_INTRINSICS[{name!r}]")
+        for key, ident in self._specs.items():
+            items = ", ".join(
+                f"DistSpec(kind={kind!r}, param={param!r})"
+                for kind, param in key
+            )
+            comma = "," if len(key) == 1 else ""
+            out.append(f"{ident} = ({items}{comma})")
+        out.append("")
+        for fn in fns:
+            out.append(fn)
+            out.append("")
+        out.append(_table("UNITS", units, quote_values=False))
+        out.append(_table("UNITS_Y", units_y, quote_values=False))
+        out.append(_table("DEMOTED", demoted, quote_values=True))
+        out.append(_table("DEMOTED_Y", demoted_y, quote_values=True))
+        return "\n".join(out) + "\n"
+
+
+def _table(name: str, mapping: dict, quote_values: bool) -> str:
+    if not mapping:
+        return f"{name} = {{}}"
+    rows = [f"{name} = {{"]
+    for k in mapping:
+        v = repr(mapping[k]) if quote_values else mapping[k]
+        rows.append(f"    {k!r}: {v},")
+    rows.append("}")
+    return "\n".join(rows)
+
+
+# --------------------------------------------------------------------------
+# one function (one procedure, one variant)
+# --------------------------------------------------------------------------
+
+
+class _FnEmitter:
+    """Emit one procedure as ``def fn(rt, fr)`` (or a generator twin).
+
+    Charge placement mirrors ``Interpreter._compile_stmt`` statement by
+    statement; the ``y`` variant yields exactly where
+    ``Interpreter._compile_stmt_y`` does.
+    """
+
+    def __init__(self, mod: _ModuleEmitter, unit: A.Procedure,
+                 y: bool) -> None:
+        self.mod = mod
+        self.unit = unit
+        self.y = y
+        self.ident = mod.fn_ident(unit.name, y)
+        self.lines: list[str] = []
+        self.ind = 1
+        self._ntmp = 0
+        self.uses: set[str] = set()
+        self.arrays: dict[str, str] = {}     # array name -> ident
+        self.arr_data: set[str] = set()      # idents needing .data alias
+        self.arr_lo: set[tuple[str, int]] = set()  # (ident, axis) lbounds
+        self.has_yield = False
+        self.arr_ranks = {
+            d.name: len(d.dims) for d in unit.decls if d.is_array
+        }
+        self.myvars = self._entry_rank_vars()
+
+    # -- plumbing ----------------------------------------------------------
+
+    def w(self, line: str) -> None:
+        self.lines.append("    " * self.ind + line)
+
+    def tmp(self) -> str:
+        self._ntmp += 1
+        return f"_t{self._ntmp}"
+
+    def areg(self, name: str) -> str:
+        """Register an array use; returns its sanitized ident."""
+        if name not in self.arr_ranks:
+            raise Unsupported(f"unknown array {name!r}")
+        ident = self.arrays.get(name)
+        if ident is None:
+            base = re.sub(r"\W", "_", name)
+            ident, k = base, 2
+            while ident in self.arrays.values():
+                ident = f"{base}{k}"
+                k += 1
+            self.arrays[name] = ident
+        return ident
+
+    def _entry_rank_vars(self) -> set[str]:
+        """Scalars that provably hold ``ctx.rank`` throughout the body:
+        bound by a SetMyProc in the entry prefix and never written by
+        anything else.  These (plus ``myproc()`` itself) let
+        processor-identity guards fold per rank class."""
+        prefix: set[str] = set()
+        for s in self.unit.body:
+            if isinstance(s, A.SetMyProc):
+                prefix.add(s.var)
+            elif isinstance(s, (A.Decomposition, A.Align, A.Distribute,
+                                A.Continue)):
+                continue
+            else:
+                break
+        if not prefix:
+            return prefix
+        written: set[str] = set(self.unit.formals)
+        for s in A.walk_stmts(self.unit.body):
+            if isinstance(s, A.Assign) and isinstance(s.target, A.Var):
+                written.add(s.target.name)
+            elif isinstance(s, A.Do):
+                written.add(s.var)
+            elif isinstance(s, A.GlobalReduce):
+                written.add(s.var)
+                if s.aux:
+                    written.add(s.aux)
+            elif isinstance(s, A.Call):
+                written.update(
+                    a.name for a in s.args if isinstance(a, A.Var)
+                )
+            for e in A.stmt_exprs(s):
+                for sub in A.walk_exprs(e):
+                    if isinstance(sub, A.CallExpr) \
+                            and sub.name in self.mod.unit_names:
+                        written.update(
+                            a.name for a in sub.args
+                            if isinstance(a, A.Var)
+                        )
+        return prefix - written
+
+    # -- assembly ----------------------------------------------------------
+
+    def emit(self) -> tuple[str, str]:
+        if self.y:
+            self._check_no_blocking_exprs()
+        self.suite_inline(self.unit.body)
+        if self.y and not self.has_yield:
+            self.w("if False:")
+            self.w("    yield  # pragma: no cover - generator marker")
+        pre = self._preamble()
+        body = pre + self.lines
+        if not body:
+            body = ["    pass"]
+        variant = "event" if self.y else "node"
+        head = [
+            f"def {self.ident}(rt, fr):",
+            f"    # {self.unit.kind} {self.unit.name} ({variant} variant)",
+        ]
+        return "\n".join(head + body), self.ident
+
+    def _preamble(self) -> list[str]:
+        u = self.uses
+        pre: list[str] = []
+        if u & {"ctx", "compute", "loop_tick", "guard_tick", "RANK"}:
+            pre.append("ctx = rt.ctx")
+        if "S" in u:
+            pre.append("S = fr.scalars")
+        if "A" in u or self.arrays:
+            pre.append("A = fr.arrays")
+        if "compute" in u:
+            pre.append("compute = ctx.compute")
+        if "loop_tick" in u:
+            pre.append("loop_tick = ctx.loop_tick")
+        if "guard_tick" in u:
+            pre.append("guard_tick = ctx.guard_tick")
+        if "RANK" in u:
+            pre.append("RANK = ctx.rank")
+        if "_trc" in u:
+            pre.append("_trc = rt.tracer is not None")
+        for name, ident in self.arrays.items():
+            pre.append(f"_a_{ident} = A[{name!r}]")
+            if ident in self.arr_data:
+                pre.append(f"_d_{ident} = _a_{ident}.data")
+        for ident, ax in sorted(self.arr_lo):
+            pre.append(f"_l{ax}_{ident} = _a_{ident}.bounds[{ax}][0]")
+        return ["    " + ln for ln in pre]
+
+    # -- event-backend gating ---------------------------------------------
+
+    def _check_no_blocking_exprs(self) -> None:
+        """Mirror of ``Interpreter._check_no_blocking_exprs``: demoting
+        here reproduces the interpreter's compile-time error exactly."""
+        for st in A.walk_stmts(self.unit.body):
+            for e in A.stmt_exprs(st):
+                for sub in A.walk_exprs(e):
+                    if isinstance(sub, A.CallExpr) \
+                            and sub.name in self.mod.blocking:
+                        raise Unsupported(
+                            f"function {sub.name!r} communicates inside "
+                            f"an expression (event backend)"
+                        )
+
+    def may_block(self, s: A.Stmt) -> bool:
+        if isinstance(s, _BLOCKING_STMTS):
+            return True
+        if isinstance(s, A.Call):
+            return s.name in self.mod.blocking
+        return any(
+            self.may_block(c)
+            for blk in A.child_blocks(s) for c in blk
+        )
+
+    def body_may_block(self, body: list[A.Stmt]) -> bool:
+        return any(self.may_block(s) for s in body)
+
+    # -- expressions -------------------------------------------------------
+
+    def ex(self, e: A.Expr) -> str:
+        if isinstance(e, (A.Num, A.Logical, A.Str)):
+            return repr(e.value)
+        if isinstance(e, A.Var):
+            self.uses.add("S")
+            return f"S[{e.name!r}]"
+        if isinstance(e, A.ArrayRef):
+            return self.elem(e)
+        if isinstance(e, A.BinOp):
+            left, right = self.ex(e.left), self.ex(e.right)
+            if e.op == ".and.":
+                return f"(bool({left}) and bool({right}))"
+            if e.op == ".or.":
+                return f"(bool({left}) or bool({right}))"
+            if e.op == "/":
+                return f"fdiv({left}, {right})"
+            op = _BIN_PY.get(e.op)
+            if op is None:
+                raise Unsupported(f"operator {e.op!r}")
+            return f"({left} {op} {right})"
+        if isinstance(e, A.UnOp):
+            x = self.ex(e.operand)
+            if e.op == "-":
+                return f"(-{x})"
+            if e.op == ".not.":
+                return f"(not {x})"
+            raise Unsupported(f"unary operator {e.op!r}")
+        if isinstance(e, A.CallExpr):
+            return self.call_expr(e)
+        raise Unsupported(f"expression {type(e).__name__}")
+
+    def elem(self, ref: A.ArrayRef) -> str:
+        ident = self.areg(ref.name)
+        self.arr_data.add(ident)
+        idx = []
+        for ax, s in enumerate(ref.subs):
+            if isinstance(s, A.Triplet):
+                raise Unsupported("array section outside communication")
+            self.arr_lo.add((ident, ax))
+            idx.append(f"int({self.ex(s)}) - _l{ax}_{ident}")
+        return f"_d_{ident}[{', '.join(idx)}]"
+
+    def call_expr(self, e: A.CallExpr) -> str:
+        name = e.name
+        if name == "myproc":
+            self.uses.add("RANK")
+            return "RANK"
+        if name == "owner":
+            if len(e.args) != 1 or not isinstance(e.args[0], A.ArrayRef):
+                raise Unsupported("owner() takes one array element")
+            ref = e.args[0]
+            if any(isinstance(s, A.Triplet) for s in ref.subs):
+                raise Unsupported("owner() of an array section")
+            ident = self.areg(ref.name)
+            parts = [f"int({self.ex(s)})" for s in ref.subs]
+            if len(parts) <= 2:
+                idx = "(" + ", ".join(parts) + ("," if len(parts) == 1
+                                                else "") + ")"
+            else:
+                idx = "[" + ", ".join(parts) + "]"
+            arr = f"_a_{ident}"
+            return (f"(0 if {arr}.dist is None or {arr}.dist.is_replicated "
+                    f"else {arr}.dist.owner({idx}))")
+        if name in PURE_INTRINSICS:
+            fn = self.mod.intrinsic(name)
+            args = ", ".join(self.ex(a) for a in e.args)
+            return f"{fn}({args})"
+        if name not in self.mod.unit_names:
+            raise Unsupported(f"unknown function {name!r}")
+        if self.mod.program.unit(name).kind != "function":
+            raise Unsupported(f"{name} is not a function")
+        args_src, actuals_src = self.call_args(list(e.args))
+        return f"rt.fcall({name!r}, fr, {args_src}, {actuals_src})"
+
+    def call_args(self, args: list[A.Expr]) -> tuple[str, str]:
+        items, actuals = [], []
+        for a in args:
+            if isinstance(a, A.Var):
+                self.uses.update(("A", "S"))
+                items.append(
+                    f"(A[{a.name!r}] if {a.name!r} in A else {self.ex(a)})"
+                )
+                actuals.append(repr(a.name))
+            else:
+                items.append(self.ex(a))
+                actuals.append("None")
+        args_src = "[" + ", ".join(items) + "]"
+        comma = "," if len(actuals) == 1 else ""
+        actuals_src = "(" + ", ".join(actuals) + comma + ")"
+        return args_src, actuals_src
+
+    def _has_user_call(self, exprs: list[A.Expr]) -> bool:
+        for e in exprs:
+            for sub in A.walk_exprs(e):
+                if isinstance(sub, A.CallExpr) \
+                        and sub.name in self.mod.unit_names:
+                    return True
+        return False
+
+    # -- statements --------------------------------------------------------
+
+    def suite_inline(self, body: list[A.Stmt]) -> None:
+        for s in body:
+            self.emit_stmt(s)
+
+    def suite(self, body: list[A.Stmt]) -> None:
+        """Emit an indented suite, guaranteeing at least ``pass``."""
+        self.ind += 1
+        n0 = len(self.lines)
+        self.suite_inline(body)
+        if len(self.lines) == n0:
+            self.w("pass")
+        self.ind -= 1
+
+    def emit_stmt(self, s: A.Stmt) -> None:
+        if UNSUPPORTED_STMTS and isinstance(s, tuple(UNSUPPORTED_STMTS)):
+            raise Unsupported(
+                f"statement {type(s).__name__} disabled for testing"
+            )
+        if isinstance(s, A.Assign):
+            return self.emit_assign(s)
+        if isinstance(s, A.If):
+            return self.emit_if(s)
+        if isinstance(s, A.Do):
+            return self.emit_do(s)
+        if isinstance(s, A.DoWhile):
+            return self.emit_dowhile(s)
+        if isinstance(s, A.Call):
+            return self.emit_call(s)
+        if isinstance(s, A.Return):
+            self.w("return")
+            return
+        if isinstance(s, A.Stop):
+            self.w("raise _Stop()")
+            return
+        if isinstance(s, (A.Continue, A.Decomposition, A.Align,
+                          A.Distribute)):
+            return
+        if isinstance(s, A.Print):
+            return self.emit_print(s)
+        if isinstance(s, A.SetMyProc):
+            self.uses.update(("S", "RANK"))
+            self.w(f"S[{s.var!r}] = RANK")
+            return
+        if isinstance(s, A.Send):
+            return self.emit_send(s)
+        if isinstance(s, A.Recv):
+            return self.emit_recv(s)
+        if isinstance(s, A.Bcast):
+            return self.emit_bcast(s)
+        if isinstance(s, A.SendPack):
+            return self.emit_sendpack(s)
+        if isinstance(s, A.RecvPack):
+            return self.emit_recvpack(s)
+        if isinstance(s, A.GlobalReduce):
+            return self.emit_reduce(s)
+        if isinstance(s, A.Remap):
+            return self.emit_remap(s)
+        if isinstance(s, A.MarkDist):
+            return self.emit_mark(s)
+        raise Unsupported(f"statement {type(s).__name__}")
+
+    def emit_assign(self, s: A.Assign) -> None:
+        self.uses.add("compute")
+        ops = _count_ops(s.expr) + 1
+        if isinstance(s.target, A.Var):
+            name = s.target.name
+            cast = "int" if scalar_type(self.unit, name) == "integer" \
+                else "float"
+            self.uses.add("S")
+            self.w(f"S[{name!r}] = {cast}({self.ex(s.expr)})")
+            self.w(f"compute({ops})")
+            return
+        ref = s.target
+        if any(isinstance(x, A.Triplet) for x in ref.subs):
+            raise Unsupported("array-section assignment")
+        ops += len(ref.subs)
+        ident = self.areg(ref.name)
+        self.arr_data.add(ident)
+        if self._has_user_call(list(ref.subs) + [s.expr]):
+            # user calls charge the clock: keep the interpreter's
+            # indices-before-RHS evaluation order with explicit temps
+            idx = []
+            for ax, x in enumerate(ref.subs):
+                self.arr_lo.add((ident, ax))
+                t = self.tmp()
+                self.w(f"{t} = int({self.ex(x)}) - _l{ax}_{ident}")
+                idx.append(t)
+            self.w(f"_d_{ident}[{', '.join(idx)}] = {self.ex(s.expr)}")
+        else:
+            idx = []
+            for ax, x in enumerate(ref.subs):
+                self.arr_lo.add((ident, ax))
+                idx.append(f"int({self.ex(x)}) - _l{ax}_{ident}")
+            self.w(f"_d_{ident}[{', '.join(idx)}] = {self.ex(s.expr)}")
+        self.w(f"compute({ops})")
+
+    # -- IF (with per-rank-class folding) ----------------------------------
+
+    def emit_if(self, s: A.If) -> None:
+        cond_ops = _count_ops(s.cond) or 1
+        self.uses.add("guard_tick")
+        self.w(f"guard_tick({cond_ops})")
+        verdict = self.fold_cond(s.cond)
+        if verdict is True:
+            return self.suite_inline(s.then_body)
+        if verdict is False:
+            return self.suite_inline(s.else_body)
+        self.w(f"if {self.ex(s.cond)}:")
+        self.suite(s.then_body)
+        if s.else_body:
+            self.w("else:")
+            self.suite(s.else_body)
+
+    def fold_cond(self, e: A.Expr) -> Optional[bool]:
+        """Three-valued evaluation of a guard over the rank interval
+        ``[rlo, rhi]``.  Only pure, charge-free shapes fold (literals,
+        rank-identity comparisons, and their boolean combinations), so
+        skipping the condition's evaluation is unobservable."""
+        if isinstance(e, A.Logical):
+            return e.value
+        if isinstance(e, A.UnOp) and e.op == ".not.":
+            v = self.fold_cond(e.operand)
+            return None if v is None else (not v)
+        if not isinstance(e, A.BinOp):
+            return None
+        if e.op in (".and.", ".or."):
+            left = self.fold_cond(e.left)
+            right = self.fold_cond(e.right)
+            if left is None or right is None:
+                return None
+            return (left and right) if e.op == ".and." else (left or right)
+        op = e.op
+        if op not in _CMP_FLIP:
+            return None
+        if self._is_rank_expr(e.left):
+            c = _const_int(e.right)
+        elif self._is_rank_expr(e.right):
+            c = _const_int(e.left)
+            op = _CMP_FLIP[op]
+        else:
+            return None
+        if c is None:
+            return None
+        lo, hi = self.mod.rlo, self.mod.rhi
+        if op == "<":
+            return True if hi < c else (False if lo >= c else None)
+        if op == "<=":
+            return True if hi <= c else (False if lo > c else None)
+        if op == ">":
+            return True if lo > c else (False if hi <= c else None)
+        if op == ">=":
+            return True if lo >= c else (False if hi < c else None)
+        if op == "==":
+            if lo == hi == c:
+                return True
+            return False if (c < lo or c > hi) else None
+        # "/="
+        if lo == hi == c:
+            return False
+        return True if (c < lo or c > hi) else None
+
+    def _is_rank_expr(self, e: A.Expr) -> bool:
+        if isinstance(e, A.Var) and e.name in self.myvars:
+            return True
+        return isinstance(e, A.CallExpr) and e.name == "myproc" \
+            and not e.args
+
+    # -- loops -------------------------------------------------------------
+
+    def emit_do(self, s: A.Do) -> None:
+        self.uses.update(("S", "loop_tick"))
+        lo_t, hi_t = self.tmp(), self.tmp()
+        self.w(f"{lo_t} = int({self.ex(s.lo)})")
+        self.w(f"{hi_t} = int({self.ex(s.hi)})")
+        st_lit = _const_int(s.step)
+        if st_lit is not None and st_lit != 0:
+            st_src = repr(st_lit)
+        else:
+            st_lit = None
+            st_src = self.tmp()
+            self.w(f"{st_src} = int({self.ex(s.step)})")
+            self.w(f"if {st_src} == 0:")
+            msg = f"{self.unit.name}: zero DO step"
+            self.w(f"    raise InterpError({msg!r})")
+        yb = self.y and self.body_may_block(s.body)
+        if not yb and self.mod.vectorize and s.body and all(
+            isinstance(b, A.Assign) and isinstance(b.target, A.ArrayRef)
+            for b in s.body
+        ):
+            try:
+                plan = _VecPlan(self, s)
+            except _VecReject:
+                plan = None
+            if plan is not None:
+                plan.emit(lo_t, hi_t, st_src, st_lit)
+                return
+        self.emit_do_scalar(s, lo_t, hi_t, st_src, st_lit, yb)
+
+    def emit_do_scalar(self, s: A.Do, lo_t: str, hi_t: str,
+                       st_src: str, st_lit: Optional[int],
+                       yb: bool) -> None:
+        i_t = self.tmp()
+        self.w(f"{i_t} = {lo_t}")
+        if st_lit is not None:
+            cond = f"{i_t} <= {hi_t}" if st_lit > 0 else f"{i_t} >= {hi_t}"
+        else:
+            cond = (f"({i_t} <= {hi_t}) if {st_src} > 0 "
+                    f"else ({i_t} >= {hi_t})")
+        self.w(f"while {cond}:")
+        self.ind += 1
+        self.w(f"S[{s.var!r}] = {i_t}")
+        self.w("loop_tick()")
+        self.suite_inline(s.body)
+        self.w(f"{i_t} += {st_src}")
+        self.ind -= 1
+        self.w(f"S[{s.var!r}] = {i_t}")
+
+    def emit_dowhile(self, s: A.DoWhile) -> None:
+        self.uses.add("loop_tick")
+        g_t = self.tmp()
+        self.w(f"{g_t} = 0")
+        self.w(f"while {self.ex(s.cond)}:")
+        self.ind += 1
+        self.w(f"{g_t} += 1")
+        self.w(f"if {g_t} > 10000000:")
+        self.w("    raise InterpError('runaway DO WHILE')")
+        self.w("loop_tick()")
+        n0 = len(self.lines)
+        self.suite_inline(s.body)
+        if len(self.lines) == n0:
+            pass  # loop_tick line keeps the suite non-empty
+        self.ind -= 1
+
+    # -- calls / IO --------------------------------------------------------
+
+    def emit_call(self, s: A.Call) -> None:
+        if s.name not in self.mod.unit_names:
+            raise Unsupported(f"call of unknown procedure {s.name!r}")
+        args_src, actuals_src = self.call_args(list(s.args))
+        if self.y and s.name in self.mod.blocking:
+            self.has_yield = True
+            self.w(f"yield from rt.call_y({s.name!r}, fr, {args_src}, "
+                   f"{actuals_src})")
+        else:
+            self.w(f"rt.call({s.name!r}, fr, {args_src}, {actuals_src})")
+
+    def emit_print(self, s: A.Print) -> None:
+        items = ", ".join(self.ex(i) for i in s.items)
+        comma = "," if len(s.items) == 1 else ""
+        self.w(f"rt.emit_print(({items}{comma}))")
+
+    # -- communication -----------------------------------------------------
+
+    def section_src(self, subs: list[A.Expr]) -> str:
+        parts = []
+        for sub in subs:
+            if isinstance(sub, A.Triplet):
+                lo = f"int({self.ex(sub.lo)})" if sub.lo is not None \
+                    else "None"
+                hi = f"int({self.ex(sub.hi)})" if sub.hi is not None \
+                    else "None"
+                st = f"int({self.ex(sub.step)})" if sub.step is not None \
+                    else "1"
+                parts.append(f"({lo}, {hi}, {st})")
+            else:
+                parts.append(f"int({self.ex(sub)})")
+        return "[" + ", ".join(parts) + "]"
+
+    def _origin(self, s: A.Stmt) -> str:
+        return Interpreter._comm_origin(s, self.unit)
+
+    def _entry(self, array: str, subs: list[A.Expr]) -> tuple[str, str]:
+        ident = self.areg(array)
+        self.arr_data.add(ident)
+        sid = self.mod.next_sid()
+        e_t = self.tmp()
+        self.w(f"{e_t} = rt.comm_entry({sid}, _a_{ident}, "
+               f"{self.section_src(subs)})")
+        return ident, e_t
+
+    def emit_send(self, s: A.Send) -> None:
+        self.uses.add("ctx")
+        ident, e_t = self._entry(s.array, s.subs)
+        p_t = self.tmp()
+        self.w(f"{p_t} = {e_t}[0].copy() if {e_t}[0] is not None "
+               f"else _d_{ident}[{e_t}[1]]")
+        self.w(f"ctx.send(int({self.ex(s.dest)}), {s.tag}, {p_t}, "
+               f"{e_t}[2], origin={self._origin(s)!r})")
+
+    def emit_recv(self, s: A.Recv) -> None:
+        self.uses.add("ctx")
+        ident, e_t = self._entry(s.array, s.subs)
+        p_t = self.tmp()
+        call = f"ctx.recv(int({self.ex(s.src)}), {s.tag}, " \
+               f"origin={self._origin(s)!r})"
+        if self.y:
+            self.has_yield = True
+            self.w(f"{p_t} = yield from {call.replace('ctx.recv(', 'ctx.recv_y(', 1)}")
+        else:
+            self.w(f"{p_t} = {call}")
+        self.w(f"rt.write_entry(_a_{ident}, {e_t}[0], {e_t}[1], {p_t})")
+
+    def emit_bcast(self, s: A.Bcast) -> None:
+        self.uses.update(("ctx", "RANK"))
+        ident, e_t = self._entry(s.array, s.subs)
+        r_t = self.tmp()
+        self.w(f"{r_t} = int({self.ex(s.root)})")
+        origin = self._origin(s)
+        bc = "ctx.broadcast_y" if self.y else "ctx.broadcast"
+        pref = "yield from " if self.y else ""
+        if self.y:
+            self.has_yield = True
+        self.w(f"if RANK == {r_t}:")
+        self.w(f"    {pref}{bc}({r_t}, {e_t}[0] if {e_t}[0] is not None "
+               f"else _d_{ident}[{e_t}[1]], {e_t}[2], origin={origin!r})")
+        self.w("else:")
+        self.w(f"    {pref}{bc}({r_t}, None, {e_t}[2], "
+               f"consume=rt.consumer(_a_{ident}, {e_t}[0], {e_t}[1]), "
+               f"origin={origin!r})")
+
+    def emit_sendpack(self, s: A.SendPack) -> None:
+        self.uses.add("ctx")
+        pl_t, nb_t = self.tmp(), self.tmp()
+        self.w(f"{pl_t} = []")
+        self.w(f"{nb_t} = 0")
+        for array, subs in s.parts:
+            ident, e_t = self._entry(array, list(subs))
+            self.w(f"{pl_t}.append({e_t}[0].copy() if {e_t}[0] is not None "
+                   f"else _d_{ident}[{e_t}[1]])")
+            self.w(f"{nb_t} += {e_t}[2]")
+        self.w(f"ctx.send(int({self.ex(s.dest)}), {s.tag}, {pl_t}, "
+               f"{nb_t}, origin={self._origin(s)!r})")
+
+    def emit_recvpack(self, s: A.RecvPack) -> None:
+        self.uses.add("ctx")
+        ps_t = self.tmp()
+        recv = "ctx.recv_y" if self.y else "ctx.recv"
+        pref = "yield from " if self.y else ""
+        if self.y:
+            self.has_yield = True
+        self.w(f"{ps_t} = {pref}{recv}(int({self.ex(s.src)}), {s.tag}, "
+               f"origin={self._origin(s)!r})")
+        for k, (array, subs) in enumerate(s.parts):
+            ident, e_t = self._entry(array, list(subs))
+            self.w(f"rt.write_entry(_a_{ident}, {e_t}[0], {e_t}[1], "
+                   f"{ps_t}[{k}])")
+
+    def emit_reduce(self, s: A.GlobalReduce) -> None:
+        self.uses.update(("ctx", "S"))
+        origin = getattr(s, "comment", "") \
+            or f"{self.unit.name}:{s.op} {s.var}"
+        if self.y:
+            self.has_yield = True
+            r_t = self.tmp()
+            if s.op == "maxloc":
+                self.w(f"{r_t} = yield from ctx.allreduce_y("
+                       f"(S[{s.var!r}], S[{s.aux!r}]), 'maxloc', 16, "
+                       f"origin={origin!r})")
+                self.w(f"S[{s.var!r}], S[{s.aux!r}] = {r_t}")
+            else:
+                self.w(f"{r_t} = yield from ctx.allreduce_y("
+                       f"S[{s.var!r}], {s.op!r}, 8, origin={origin!r})")
+                self.w(f"S[{s.var!r}] = {r_t}")
+            return
+        if s.op == "maxloc":
+            self.w(f"S[{s.var!r}], S[{s.aux!r}] = ctx.allreduce("
+                   f"(S[{s.var!r}], S[{s.aux!r}]), 'maxloc', 16, "
+                   f"origin={origin!r})")
+        else:
+            self.w(f"S[{s.var!r}] = ctx.allreduce(S[{s.var!r}], "
+                   f"{s.op!r}, 8, origin={origin!r})")
+
+    def emit_remap(self, s: A.Remap) -> None:
+        ident = self.areg(s.array)
+        spec = self.mod.specs_const(s.to_specs)
+        origin = s.comment or f"{self.unit.name}:remap {s.array}"
+        if self.y:
+            self.has_yield = True
+            self.w(f"yield from rt.remap_y(_a_{ident}, {spec}, "
+                   f"{origin!r})")
+        else:
+            self.w(f"rt.remap(_a_{ident}, {spec}, {origin!r})")
+
+    def emit_mark(self, s: A.MarkDist) -> None:
+        ident = self.areg(s.array)
+        spec = self.mod.specs_const(s.to_specs)
+        self.w(f"rt.mark(_a_{ident}, {spec})")
+
+
+# --------------------------------------------------------------------------
+# loop vectorization (static mirror of repro.interp.vectorize._Plan)
+# --------------------------------------------------------------------------
+
+
+class _VecPlan:
+    """Static legality analysis + numpy emission for an affine DO nest.
+
+    The acceptance rules are a faithful (conservative) mirror of
+    ``vectorize._Plan``: anything this plan accepts, the interpreter's
+    vectorizer accepts with the same block slices, runtime checks, and
+    charges — which is what keeps the two paths bit-identical.
+    """
+
+    def __init__(self, fn: _FnEmitter, do: A.Do) -> None:
+        self.fn = fn
+        self.v = do.var
+        self.do = do
+        self.uses_iota = False
+        self.ops_per_iter = 0
+        #: array name -> (axis, [offset exprs]) for written arrays
+        self.writes: dict[str, tuple[int, list]] = {}
+        #: (array name, axis, offset) for refs indexed by the loop var
+        self.v_reads: list[tuple[str, int, object]] = []
+        #: (array name, subs) for loop-invariant refs
+        self.inv_reads: list[tuple[str, tuple]] = []
+        #: per-statement compiled shape: (name, ident, axis, off,
+        #: invariant-subs, rhs expr)
+        self.stmts: list[tuple] = []
+        for s in do.body:
+            self._plan_stmt(s)
+        self._finalize()
+
+    # -- analysis ----------------------------------------------------------
+
+    def _plan_stmt(self, s: A.Assign) -> None:
+        target = s.target
+        axis, off = self._classify_ref(target)
+        if axis is None:
+            raise _VecReject  # invariant write
+        prev = self.writes.get(target.name)
+        if prev is not None and prev[0] != axis:
+            raise _VecReject
+        if prev is None:
+            self.writes[target.name] = (axis, [off])
+        else:
+            prev[1].append(off)
+        self._check_expr(s.expr)
+        self.ops_per_iter += _count_ops(s.expr) + 1 + len(target.subs)
+        self.stmts.append((target, axis, off, s.expr))
+
+    def _invariant(self, e: A.Expr) -> None:
+        """Legality of a loop-invariant subexpression (mirror of
+        ``_Plan._checked_invariant``)."""
+        for sub in A.walk_exprs(e):
+            if isinstance(sub, A.CallExpr) \
+                    and sub.name not in _INVARIANT_OK_CALLS:
+                raise _VecReject
+            if isinstance(sub, A.Triplet):
+                raise _VecReject
+            if isinstance(sub, A.ArrayRef):
+                self.inv_reads.append((sub.name, tuple(sub.subs)))
+
+    def _axis_offset(self, e: A.Expr):
+        """The affine form of a subscript in the loop variable:
+        returns the offset descriptor or rejects."""
+        v = self.v
+        if isinstance(e, A.Var) and e.name == v:
+            return ("zero",)
+        if isinstance(e, A.BinOp) and isinstance(e.left, A.Var) \
+                and e.left.name == v and not _mentions(e.right, v):
+            if e.op == "+":
+                self._invariant(e.right)
+                return ("pos", e.right)
+            if e.op == "-":
+                self._invariant(e.right)
+                return ("neg", e.right)
+        if isinstance(e, A.BinOp) and e.op == "+" \
+                and isinstance(e.right, A.Var) and e.right.name == v \
+                and not _mentions(e.left, v):
+            self._invariant(e.left)
+            return ("pos", e.left)
+        raise _VecReject
+
+    def _classify_ref(self, ref: A.ArrayRef):
+        """(axis, off) of the one subscript mentioning the loop var;
+        (None, None) when the reference is loop-invariant."""
+        v = self.v
+        axis = off = None
+        for ax, sub in enumerate(ref.subs):
+            if isinstance(sub, A.Triplet):
+                raise _VecReject
+            if _mentions(sub, v):
+                if axis is not None:
+                    raise _VecReject  # two subscripts use the loop var
+                axis = ax
+                off = self._axis_offset(sub)
+            else:
+                self._invariant(sub)
+        return axis, off
+
+    def _check_expr(self, e: A.Expr) -> None:
+        v = self.v
+        if not _mentions(e, v):
+            self._invariant(e)
+            return
+        if isinstance(e, A.Var):  # e.name == v
+            self.uses_iota = True
+            return
+        if isinstance(e, A.ArrayRef):
+            axis, off = self._classify_ref(e)
+            self.v_reads.append((e.name, axis, off))
+            return
+        if isinstance(e, A.BinOp):
+            if e.op not in ("+", "-", "*", "/", "**"):
+                raise _VecReject
+            self._check_expr(e.left)
+            self._check_expr(e.right)
+            return
+        if isinstance(e, A.UnOp):
+            if e.op != "-":
+                raise _VecReject
+            self._check_expr(e.operand)
+            return
+        if isinstance(e, A.CallExpr):
+            if e.name not in _VEC_CALL_SRC and e.name not in ("min", "max"):
+                raise _VecReject
+            if e.name in ("min", "max") and len(e.args) < 2:
+                raise _VecReject
+            for a in e.args:
+                self._check_expr(a)
+            return
+        raise _VecReject
+
+    def _finalize(self) -> None:
+        self.checked_v_reads: list[tuple[str, object]] = []
+        self.checked_inv_reads: list[tuple[str, A.Expr]] = []
+        for name, axis, off in self.v_reads:
+            w = self.writes.get(name)
+            if w is None:
+                continue
+            if axis != w[0]:
+                raise _VecReject
+            self.checked_v_reads.append((name, off))
+        for name, subs in self.inv_reads:
+            w = self.writes.get(name)
+            if w is None:
+                continue
+            axis = w[0]
+            if axis >= len(subs):
+                raise _VecReject
+            self.checked_inv_reads.append((name, subs[axis]))
+        for name in self.writes:
+            self.fn.areg(name)
+
+    # -- emission ----------------------------------------------------------
+
+    def _off_src(self, off) -> str:
+        if off[0] == "zero":
+            return "0"
+        src = f"int({self.fn.ex(off[1])})"
+        return src if off[0] == "pos" else f"(-{src})"
+
+    def emit(self, lo_t: str, hi_t: str, st_src: str,
+             st_lit: Optional[int]) -> None:
+        fn = self.fn
+        fn.uses.update(("S", "loop_tick", "compute", "ctx", "_trc"))
+        n_t, ok_t = fn.tmp(), fn.tmp()
+        fn.w(f"{n_t} = ({hi_t} - {lo_t}) // {st_src} + 1")
+        fn.w(f"if {n_t} <= 0:")
+        fn.w(f"    S[{self.do.var!r}] = {lo_t}")
+        fn.w("else:")
+        fn.ind += 1
+        fn.w(f"{ok_t} = {n_t} >= {MIN_BLOCK}")
+        # per-array write offsets + equality constraints
+        woff_t: dict[str, str] = {}
+        conds: list[str] = []
+        fn.w(f"if {ok_t}:")
+        fn.ind += 1
+        for name, (axis, offs) in self.writes.items():
+            t = fn.tmp()
+            woff_t[name] = t
+            fn.w(f"{t} = {self._off_src(offs[0])}")
+            for extra in offs[1:]:
+                conds.append(f"{self._off_src(extra)} == {t}")
+        for name, off in self.checked_v_reads:
+            conds.append(f"{self._off_src(off)} == {woff_t[name]}")
+        if conds:
+            fn.w(f"{ok_t} = " + " and ".join(conds))
+        else:
+            fn.w("pass")
+        fn.ind -= 1
+        # anti-dependence range checks for invariant reads of written
+        # arrays (same inclusive window as vectorize.runtime_ok)
+        for name, idx in self.checked_inv_reads:
+            f_t, l_t = fn.tmp(), fn.tmp()
+            fn.w(f"if {ok_t}:")
+            fn.ind += 1
+            fn.w(f"{f_t} = {lo_t} + {woff_t[name]}")
+            fn.w(f"{l_t} = {f_t} + ({n_t} - 1) * {st_src}")
+            if st_lit is not None:
+                wl, wh = (f_t, l_t) if st_lit > 0 else (l_t, f_t)
+                fn.w(f"{ok_t} = not ({wl} <= int({fn.ex(idx)}) <= {wh})")
+            else:
+                b_t = fn.tmp()
+                fn.w(f"{b_t} = int({fn.ex(idx)})")
+                fn.w(f"{ok_t} = not (({f_t} <= {b_t} <= {l_t}) "
+                     f"if {st_src} > 0 else ({l_t} <= {b_t} <= {f_t}))")
+            fn.ind -= 1
+        fn.w(f"if not {ok_t}:")
+        fn.ind += 1
+        fn.emit_do_scalar(self.do, lo_t, hi_t, st_src, st_lit, yb=False)
+        fn.ind -= 1
+        fn.w("else:")
+        fn.ind += 1
+        t0_t = fn.tmp()
+        fn.w(f"{t0_t} = ctx.clock_estimate() if _trc else 0.0")
+        io_t = fn.tmp()
+        if self.uses_iota:
+            fn.w(f"{io_t} = np.arange({lo_t}, {lo_t} + {n_t} * {st_src}, "
+                 f"{st_src})")
+        for target, axis, off, expr in self.stmts:
+            tgt = self._slice_src(target, axis, off, lo_t, n_t, st_src,
+                                  woff_t.get(target.name))
+            rhs = self._vec_ex(expr, lo_t, n_t, st_src, io_t)
+            fn.w(f"{tgt} = {rhs}")
+        fn.w(f"loop_tick({n_t})")
+        fn.w(f"compute({n_t} * {self.ops_per_iter})")
+        fn.w("if _trc:")
+        fn.w(f"    rt.trace_vec({t0_t}, {self.fn.unit.name!r}, "
+             f"{self.do.var!r}, {n_t}, {n_t} * {self.ops_per_iter})")
+        fn.w(f"S[{self.do.var!r}] = {lo_t} + {n_t} * {st_src}")
+        fn.ind -= 2
+
+    def _slice_src(self, ref: A.ArrayRef, axis: int, off, lo_t: str,
+                   n_t: str, st_src: str, woff: Optional[str]) -> str:
+        """Numpy subscript for a loop-carried reference: ``ax_slice``
+        on the loop axis, scalar offsets elsewhere (bounds-checked at
+        the block endpoints exactly like ``_block_slices``)."""
+        fn = self.fn
+        ident = fn.areg(ref.name)
+        fn.arr_data.add(ident)
+        first = f"({lo_t} + {woff})" if woff is not None else None
+        if first is None:
+            osrc = self._off_src(off)
+            first = lo_t if osrc == "0" else f"({lo_t} + {osrc})"
+        last = f"({first} + ({n_t} - 1) * {st_src})"
+        parts = []
+        for ax, sub in enumerate(ref.subs):
+            if ax == axis:
+                parts.append(f"ax_slice(_a_{ident}, {ax}, {first}, "
+                             f"{last}, {st_src})")
+            else:
+                parts.append(f"_a_{ident}._offset({ax}, "
+                             f"int({fn.ex(sub)}))")
+        return f"_d_{ident}[{', '.join(parts)}]"
+
+    def _vec_ex(self, e: A.Expr, lo_t: str, n_t: str, st_src: str,
+                io_t: str) -> str:
+        if not _mentions(e, self.v):
+            return f"({self.fn.ex(e)})"
+        if isinstance(e, A.Var):  # the loop variable
+            return io_t
+        if isinstance(e, A.ArrayRef):
+            axis, off = self._classify_ref(e)
+            return self._slice_src(e, axis, off, lo_t, n_t, st_src, None)
+        if isinstance(e, A.BinOp):
+            left = self._vec_ex(e.left, lo_t, n_t, st_src, io_t)
+            right = self._vec_ex(e.right, lo_t, n_t, st_src, io_t)
+            if e.op == "/":
+                return f"_vdiv({left}, {right})"
+            return f"({left} {e.op} {right})"
+        if isinstance(e, A.UnOp):
+            return f"(-{self._vec_ex(e.operand, lo_t, n_t, st_src, io_t)})"
+        if isinstance(e, A.CallExpr):
+            args = [self._vec_ex(a, lo_t, n_t, st_src, io_t)
+                    for a in e.args]
+            if e.name in _VEC_CALL_SRC:
+                if len(args) != 1:
+                    raise _VecReject
+                return _VEC_CALL_SRC[e.name].format(args[0])
+            nf = "np.minimum" if e.name == "min" else "np.maximum"
+            acc = args[0]
+            for a in args[1:]:
+                acc = f"{nf}({acc}, {a})"
+            return acc
+        raise _VecReject

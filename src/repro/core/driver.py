@@ -73,6 +73,7 @@ class CompiledProgram:
         scheduler: Optional[str] = None,
         trace=None,
         topology=None,
+        codegen: Optional[bool] = None,
     ) -> SPMDResult:
         """Execute on the simulated machine.  *timeout_s* defaults to
         ``REPRO_SIM_TIMEOUT`` (else 60 s); *faults* is an optional
@@ -82,7 +83,10 @@ class CompiledProgram:
         event tracing (a :class:`~repro.obs.Tracer`, ``True``, or the
         ``REPRO_TRACE`` environment variable when None); *topology*
         selects the interconnect (a Topology instance, a name like
-        ``"hypercube"``, or ``REPRO_TOPOLOGY`` / uniform when None)."""
+        ``"hypercube"``, or ``REPRO_TOPOLOGY`` / uniform when None);
+        *codegen* selects generated node programs vs the interpreter
+        (``REPRO_CODEGEN``, default on) — with ``Options.strict`` any
+        codegen demotion becomes a hard error."""
         from ..interp.interpreter import default_init
 
         return run_spmd(
@@ -97,6 +101,8 @@ class CompiledProgram:
             scheduler=scheduler,
             trace=trace,
             topology=topology,
+            codegen=codegen,
+            codegen_strict=self.opts.strict,
         )
 
     def text(self) -> str:
@@ -658,6 +664,15 @@ def _sanitize_summaries(
 #: mutated between calls.
 _compile_cache: dict[tuple, "CompiledProgram"] = {}
 
+#: process-wide compile-memo counters, surfaced by ``fdc --report``
+#: (RunStats.as_dict folds them in next to the comm/codegen caches)
+_compile_cache_stats = {"hits": 0, "misses": 0}
+
+
+def compile_cache_stats() -> dict:
+    """Snapshot of the compile-memo hit/miss counters."""
+    return dict(_compile_cache_stats)
+
 
 def compile_program(
     source: Union[str, A.Program],
@@ -682,10 +697,12 @@ def compile_program(
         cache_key = (source, astuple(opts))
         hit = _compile_cache.get(cache_key)
         if hit is not None:
+            _compile_cache_stats["hits"] += 1
             if tracer is not None:
                 tracer.decision("compile.cache-hit", mode=opts.mode.value,
                                 nprocs=opts.nprocs)
             return hit
+    _compile_cache_stats["misses"] += 1
     compiled = _compile_uncached(source, opts, tracer)
     if cache_key is not None:
         _compile_cache[cache_key] = compiled
@@ -766,7 +783,36 @@ def _compile_uncached(
                             report, tags, main_name, tracer,
                         )
 
-    return CompiledProgram(prog, initial, report, opts)
+    compiled = CompiledProgram(prog, initial, report, opts)
+    with span("emit-node-program", nprocs=opts.nprocs):
+        _prewarm_codegen(compiled, tracer)
+    return compiled
+
+
+def _prewarm_codegen(compiled: CompiledProgram, tracer=None) -> None:
+    """Generate (or load from cache) the node-program modules for the
+    environment-default execution options, so the first run doesn't pay
+    for generation.  Under ``Options.strict`` a codegen demotion is a
+    compile error; otherwise every failure here is soft — ``run_spmd``
+    regenerates on demand and demotes to the interpreter."""
+    from ..codegen import CodegenError, enabled, get_generated
+    from ..interp.vectorize import enabled as vec_enabled
+
+    if not enabled(None):
+        return
+    try:
+        gen, _, _ = get_generated(
+            compiled.program, compiled.opts.nprocs, vec_enabled(None),
+            strict=compiled.opts.strict,
+        )
+    except CodegenError as e:
+        raise CompileError(str(e)) from None
+    except Exception:  # pragma: no cover - cache/emit trouble is soft
+        return
+    if tracer is not None:
+        for cls, variant, proc, cause in gen.demotions:
+            tracer.decision("codegen-demotion", proc=proc, rank_class=cls,
+                            variant=variant, cause=cause)
 
 
 def _demote_to_rtr(

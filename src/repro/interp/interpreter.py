@@ -99,6 +99,39 @@ def _count_ops(e: A.Expr) -> int:
     return n
 
 
+def find_blocking_units(program: A.Program) -> set[str]:
+    """Procedures that may suspend: those containing a blocking
+    statement, transitively closed over CALL / function-call edges.
+    Shared by the event-backend compilation here and by the node-program
+    code generator (``repro.codegen``), which must place its yields at
+    exactly the same procedures."""
+    direct: set[str] = set()
+    calls: dict[str, set[str]] = {}
+    unit_names = {u.name for u in program.units}
+    for u in program.units:
+        callees: set[str] = set()
+        for s in A.walk_stmts(u.body):
+            if isinstance(s, _BLOCKING_STMTS):
+                direct.add(u.name)
+            if isinstance(s, A.Call):
+                callees.add(s.name)
+            for e in A.stmt_exprs(s):
+                for sub in A.walk_exprs(e):
+                    if isinstance(sub, A.CallExpr) \
+                            and sub.name in unit_names:
+                        callees.add(sub.name)
+        calls[u.name] = callees
+    blocking = set(direct)
+    changed = True
+    while changed:
+        changed = False
+        for name, callees in calls.items():
+            if name not in blocking and callees & blocking:
+                blocking.add(name)
+                changed = True
+    return blocking
+
+
 class Interpreter:
     """Compiles and executes one program for one node."""
 
@@ -1336,6 +1369,8 @@ def run_spmd(
     scheduler: Optional[str] = None,
     trace=None,
     topology=None,
+    codegen: Optional[bool] = None,
+    codegen_strict: bool = False,
 ) -> SPMDResult:
     """Run a compiled SPMD node program on the simulated machine.
 
@@ -1350,11 +1385,41 @@ def run_spmd(
     JSON is written there after the run).  *topology* selects the
     interconnect (a :class:`~repro.machine.topology.Topology`, a name
     like ``"hypercube"`` or ``"mesh2d:contention"``, or None for
-    ``REPRO_TOPOLOGY`` / uniform).
+    ``REPRO_TOPOLOGY`` / uniform).  *codegen* selects the generated
+    node-program path (``REPRO_CODEGEN``, default on; see
+    :mod:`repro.codegen`); *codegen_strict* escalates per-procedure
+    demotions to errors.
     """
+    # deferred import: repro.codegen.emit imports this module
+    from ..codegen import (
+        CodegenError, NodeRt, enabled as codegen_enabled, get_generated,
+    )
+
     machine = Machine(nprocs, cost, timeout_s, faults=faults,
                       scheduler=scheduler, trace=trace, topology=topology)
     prints: list[str] = []
+
+    gen = None
+    if codegen_enabled(codegen):
+        from .vectorize import enabled as vec_enabled
+
+        try:
+            gen, gh, gm = get_generated(
+                program, nprocs, vec_enabled(vectorize),
+                strict=codegen_strict,
+            )
+        except CodegenError:
+            raise
+        except Exception:  # pragma: no cover - codegen must not kill runs
+            gen = None
+        if gen is not None:
+            machine.stats.record_codegen(gh, gm, len(gen.demotions))
+            if machine.tracer is not None:
+                for cls, variant, proc, cause in gen.demotions:
+                    machine.tracer.decision(
+                        "codegen-demotion", proc=proc, rank_class=cls,
+                        variant=variant, cause=cause,
+                    )
 
     def make_interp(ctx: ProcContext) -> Interpreter:
         return Interpreter(
@@ -1368,22 +1433,31 @@ def run_spmd(
         )
         prints.extend(interp.prints)
 
-    if machine.scheduler == "event":
-        # generator node program: the machine drives each rank as a
-        # coroutine, suspending exactly at blocking communication
-        def node(ctx: ProcContext):
-            interp = make_interp(ctx)
-            frame = yield from interp.run_events()
-            finish(ctx, interp)
-            return frame
-    else:
-        def node(ctx: ProcContext) -> Frame:
-            interp = make_interp(ctx)
-            frame = interp.run()
-            finish(ctx, interp)
-            return frame
+    def make_node(rank: int):
+        mod = gen.module_for(rank) if gen is not None else None
+        if machine.scheduler == "event":
+            # generator node program: the machine drives each rank as
+            # a coroutine, suspending exactly at blocking communication
+            def node(ctx: ProcContext):
+                interp = make_interp(ctx)
+                if mod is not None:
+                    frame = yield from NodeRt(interp, mod).run_y()
+                else:
+                    frame = yield from interp.run_events()
+                finish(ctx, interp)
+                return frame
+        else:
+            def node(ctx: ProcContext) -> Frame:
+                interp = make_interp(ctx)
+                if mod is not None:
+                    frame = NodeRt(interp, mod).run()
+                else:
+                    frame = interp.run()
+                finish(ctx, interp)
+                return frame
+        return node
 
-    frames = machine.run(node)
+    frames = machine.run([make_node(r) for r in range(nprocs)])
     if machine.tracer is not None and trace is None:
         from ..obs import trace_output_path, write_chrome_trace
 

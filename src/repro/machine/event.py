@@ -410,6 +410,21 @@ class EventCollectives(CoopCollectives):
         return incoming, t
 
 
+def is_event_coroutine(fn: Any) -> bool:
+    """Should *fn* be driven as a rank coroutine (vs a fiber)?
+
+    True for generator functions and for callables marked with an
+    ``event_coroutine`` attribute — the tag lets non-generator
+    wrappers (e.g. around generated node programs) opt in explicitly.
+    """
+    import inspect
+
+    return bool(
+        getattr(fn, "event_coroutine", False)
+        or inspect.isgeneratorfunction(fn)
+    )
+
+
 class _FiberCoroutine:
     """Thread-backed coroutine adapter for plain-callable node programs.
 

@@ -23,7 +23,6 @@ Resilience hooks:
 
 from __future__ import annotations
 
-import inspect
 import threading
 import time
 import traceback
@@ -348,10 +347,13 @@ class Machine:
     def run(self, node_program: Callable[[ProcContext], Any]) -> list[Any]:
         """Run *node_program* on every node; returns per-rank results.
 
-        On failure the remaining ranks are aborted at their next network
-        operation, all node threads are joined with a bound, and the
-        first error *by virtual time* is re-raised (teardown aborts are
-        only raised when no primary error exists).
+        *node_program* is either one callable shared by every rank or a
+        sequence of per-rank callables (e.g. generated node programs,
+        which differ per rank class).  On failure the remaining ranks
+        are aborted at their next network operation, all node threads
+        are joined with a bound, and the first error *by virtual time*
+        is re-raised (teardown aborts are only raised when no primary
+        error exists).
         """
         t0 = time.perf_counter()
         try:
@@ -372,6 +374,15 @@ class Machine:
         else:
             ctx_cls = ProcContext
         contexts = [ctx_cls(r, self) for r in range(self.nprocs)]
+        if isinstance(node_program, (list, tuple)):
+            if len(node_program) != self.nprocs:
+                raise ValueError(
+                    f"need {self.nprocs} node programs, "
+                    f"got {len(node_program)}"
+                )
+            programs = list(node_program)
+        else:
+            programs = [node_program] * self.nprocs
         results: list[Any] = [None] * self.nprocs
         #: (secondary, clock, rank, exc, tb) per failed rank
         errors: list[tuple[bool, float, int, BaseException, str]] = []
@@ -380,7 +391,7 @@ class Machine:
         def runner(ctx: ProcContext) -> None:
             failed = False
             try:
-                results[ctx.rank] = node_program(ctx)
+                results[ctx.rank] = programs[ctx.rank](ctx)
             except BaseException as e:  # noqa: BLE001 - reported to caller
                 failed = True
                 secondary = isinstance(e, AbortError)
@@ -405,7 +416,7 @@ class Machine:
 
         leaked: list[str] = []
         if self.scheduler == "event":
-            self._run_events(node_program, contexts, results, errors, lock,
+            self._run_events(programs, contexts, results, errors, lock,
                              runner)
         elif self.nprocs == 1:
             runner(contexts[0])
@@ -443,7 +454,7 @@ class Machine:
 
     def _run_events(
         self,
-        node_program: Callable[[ProcContext], Any],
+        programs: list[Callable[[ProcContext], Any]],
         contexts: list[ProcContext],
         results: list[Any],
         errors: list[tuple[bool, float, int, BaseException, str]],
@@ -451,21 +462,18 @@ class Machine:
         runner: Callable[[ProcContext], None],
     ) -> None:
         """Drive the run on the event backend.  Generator node programs
-        (the interpreter's event compile path, or any generator
-        function) become rank coroutines directly; plain callables are
-        carried on thread-backed fibers with identical semantics."""
-        from .event import _FiberCoroutine
+        (the interpreter's event compile path, generated modules' event
+        variants, or any generator function) become rank coroutines
+        directly; plain callables are carried on thread-backed fibers
+        with identical semantics."""
+        from .event import _FiberCoroutine, is_event_coroutine
 
         sched = self._sched
-        is_coroutine = (
-            getattr(node_program, "event_coroutine", False)
-            or inspect.isgeneratorfunction(node_program)
-        )
-        if is_coroutine:
+        if is_event_coroutine(programs[0]):
             def runner_gen(ctx: ProcContext):
                 failed = False
                 try:
-                    results[ctx.rank] = yield from node_program(ctx)
+                    results[ctx.rank] = yield from programs[ctx.rank](ctx)
                 except BaseException as e:  # noqa: BLE001 - see runner
                     failed = True
                     secondary = isinstance(e, AbortError)

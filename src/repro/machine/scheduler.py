@@ -32,7 +32,11 @@ Ranks are carried on daemon threads used purely as coroutine frames
 but only one is ever logically runnable; a context switch is one
 ``Event.set`` plus one ``Event.wait``.
 
-Select the backend with ``Machine(scheduler="coop"|"threads"|"event")``,
+All backends accept either one node program shared by every rank or a
+per-rank list (``Machine.run``); generated node programs
+(:mod:`repro.codegen`) use the latter since rank classes get distinct
+modules.  Select the backend with
+``Machine(scheduler="coop"|"threads"|"event")``,
 ``REPRO_SCHEDULER`` in the environment, or ``fdc --scheduler``; ``coop``
 is the default, ``threads`` is retained as a differential oracle
 (see ``tests/test_scheduler_differential.py``), and ``event`` is the

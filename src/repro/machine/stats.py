@@ -46,6 +46,11 @@ class RunStats:
     #: memoized per CommAction per rank)
     comm_cache_hits: int = 0
     comm_cache_misses: int = 0
+    #: generated-node-program cache (one entry per rank class) and
+    #: per-procedure demotions to the interpreter
+    codegen_cache_hits: int = 0
+    codegen_cache_misses: int = 0
+    codegen_demotions: int = 0
 
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
@@ -120,6 +125,16 @@ class RunStats:
             self.comm_cache_hits += hits
             self.comm_cache_misses += misses
 
+    def record_codegen(self, hits: int, misses: int,
+                       demotions: int) -> None:
+        """Generated-module cache counters for this run (a hit means a
+        rank-class module came from the in-process memo or disk; a miss
+        means it was generated) plus the demotion count."""
+        with self._lock:
+            self.codegen_cache_hits += hits
+            self.codegen_cache_misses += misses
+            self.codegen_demotions += demotions
+
     # -- reporting ---------------------------------------------------------
 
     @property
@@ -160,6 +175,9 @@ class RunStats:
         quantities (consumed by ``fdc --stats-json`` and the benchmark
         harness).  Taken under the lock so concurrent recorders never
         produce a torn snapshot."""
+        from ..core.driver import compile_cache_stats  # deferred: cycle
+
+        cc = compile_cache_stats()
         with self._lock:
             time_us = max(self.proc_times.values(), default=0.0)
             work = list(self.proc_work.values())
@@ -193,6 +211,11 @@ class RunStats:
                 "switches": self.switches,
                 "comm_cache_hits": self.comm_cache_hits,
                 "comm_cache_misses": self.comm_cache_misses,
+                "codegen_cache_hits": self.codegen_cache_hits,
+                "codegen_cache_misses": self.codegen_cache_misses,
+                "codegen_demotions": self.codegen_demotions,
+                "compile_cache_hits": cc["hits"],
+                "compile_cache_misses": cc["misses"],
                 "time_us": time_us,
                 "time_ms": time_us / 1000.0,
                 "load_imbalance": imbalance,
@@ -218,5 +241,8 @@ class RunStats:
             f"wall={self.wall_s:.3f} s  "
             f"dispatches={self.dispatches}  switches={self.switches}  "
             f"comm-cache={self.comm_cache_hits}/"
-            f"{self.comm_cache_hits + self.comm_cache_misses} hits"
+            f"{self.comm_cache_hits + self.comm_cache_misses} hits  "
+            f"codegen={self.codegen_cache_hits}/"
+            f"{self.codegen_cache_hits + self.codegen_cache_misses} hits"
+            f" {self.codegen_demotions} demoted"
         )
