@@ -14,6 +14,14 @@ Usage::
     fdc program.fd --run --stats-json s.json
     fdc program.fd --run --scheduler event --topology hypercube
 
+Compile-service subcommands and client mode::
+
+    fdc serve --socket /tmp/fdc.sock   # run the compile daemon
+    fdc ping --server /tmp/fdc.sock    # liveness + stats probe
+    fdc shutdown --server auto         # stop the daemon
+    fdc program.fd --server auto       # compile via the daemon,
+                                       # in-process fallback if down
+
 (also available as ``python -m repro.cli``)
 """
 
@@ -119,6 +127,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--codegen-dump", metavar="FILE",
                    help="write the generated node-program source for "
                         "every rank class to FILE ('-' for stdout)")
+    p.add_argument("--server", metavar="WHERE", default=None,
+                   help="compile via a running 'fdc serve' daemon: "
+                        "'off', 'auto' (per-user default socket), or "
+                        "a socket path (also via REPRO_SERVER; falls "
+                        "back to in-process compilation when the "
+                        "daemon is unreachable)")
     return p
 
 
@@ -132,7 +146,69 @@ def _read_source(path: str) -> str:
 COSTS = {"ipsc860": IPSC860, "fast": FAST_NETWORK, "free": FREE}
 
 
+SERVICE_COMMANDS = ("serve", "ping", "shutdown")
+
+
+def _service_main(cmd: str, argv: list[str]) -> int:
+    """``fdc serve`` / ``fdc ping`` / ``fdc shutdown``."""
+    from .service import CompileClient, CompileDaemon, ServiceError
+    from .service.client import default_socket_path, resolve_server
+
+    p = argparse.ArgumentParser(prog=f"fdc {cmd}")
+    p.add_argument("--socket", "--server", dest="socket", default=None,
+                   metavar="PATH",
+                   help="daemon socket path ('auto' or unset: the "
+                        "per-user default, also via REPRO_SERVER)")
+    if cmd == "serve":
+        p.add_argument("--store", metavar="DIR", default=None,
+                       help="persistent summary-store directory "
+                            "(default: in-memory only)")
+        p.add_argument("--pool", type=int, default=2,
+                       help="worker processes (0 = compile in-daemon)")
+        p.add_argument("--queue-limit", type=int, default=8,
+                       help="bounded compile-queue length")
+        p.add_argument("--handlers", type=int, default=2,
+                       help="concurrent request handlers")
+        p.add_argument("--max-deadline", type=float, default=300.0,
+                       metavar="S", help="per-request deadline ceiling")
+        p.add_argument("--seed", type=int, default=0,
+                       help="supervisor backoff-jitter seed")
+    args = p.parse_args(argv)
+    path = resolve_server(args.socket) or default_socket_path()
+
+    if cmd == "serve":
+        daemon = CompileDaemon(
+            path, store_dir=args.store, pool_size=args.pool,
+            queue_limit=args.queue_limit, handlers=args.handlers,
+            max_deadline_s=args.max_deadline, seed=args.seed,
+        )
+        print(f"fdc serve: listening on {path} "
+              f"(pool={args.pool} queue={args.queue_limit})")
+        try:
+            daemon.serve_forever()
+        except KeyboardInterrupt:
+            daemon.stop()
+        return 0
+
+    client = CompileClient(path)
+    try:
+        if cmd == "ping":
+            rep = client.ping()
+            print(f"pong from pid {rep['pid']} at {path}")
+        else:
+            client.shutdown()
+            print(f"shutdown sent to {path}")
+        return 0
+    except (OSError, TimeoutError, ServiceError) as e:
+        print(f"fdc {cmd}: {e}", file=sys.stderr)
+        return 1
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] in SERVICE_COMMANDS:
+        return _service_main(argv[0], argv[1:])
     args = build_parser().parse_args(argv)
     try:
         source = _read_source(args.source)
@@ -158,7 +234,18 @@ def main(argv: list[str] | None = None) -> int:
         strict=args.strict,
     )
     try:
-        cp = compile_program(source, opts, trace=tracer)
+        from .service import resolve_server
+
+        if resolve_server(args.server) is not None:
+            from .service import compile_with_fallback
+
+            cp, sinfo = compile_with_fallback(
+                source, opts, server=args.server, trace=tracer)
+            if sinfo["used"] != "server":
+                print(f"! server fallback: {sinfo.get('cause')}",
+                      file=sys.stderr)
+        else:
+            cp = compile_program(source, opts, trace=tracer)
     except Exception as e:  # surface compile errors with a clean message
         print(f"fdc: compilation failed: {e}", file=sys.stderr)
         return 1

@@ -17,7 +17,10 @@ The result executes directly on the simulated machine via
 
 from __future__ import annotations
 
+import hashlib
 import os
+import pickle
+import tempfile
 from contextlib import nullcontext
 from dataclasses import astuple, dataclass
 from typing import Optional, Union
@@ -666,12 +669,86 @@ _compile_cache: dict[tuple, "CompiledProgram"] = {}
 
 #: process-wide compile-memo counters, surfaced by ``fdc --report``
 #: (RunStats.as_dict folds them in next to the comm/codegen caches)
-_compile_cache_stats = {"hits": 0, "misses": 0}
+_compile_cache_stats = {"hits": 0, "misses": 0, "disk_hits": 0,
+                        "disk_degraded": 0}
+
+#: bump when CompiledProgram's pickled shape changes; stale disk
+#: entries then fail the header check and regenerate
+_DISK_CACHE_VERSION = "1"
+
+#: directories already reported unwritable (one decision event per dir)
+_degraded_dirs: set[str] = set()
 
 
 def compile_cache_stats() -> dict:
     """Snapshot of the compile-memo hit/miss counters."""
     return dict(_compile_cache_stats)
+
+
+def _cache_setting() -> str:
+    """``REPRO_COMPILE_CACHE``: ``"0"`` disables memoization, ``"1"``
+    (or unset) keeps the in-process memo, and any other value names a
+    *directory* holding a persistent on-disk compile cache shared
+    across processes (entries are crash-safe mkstemp+rename writes;
+    corrupt, stale, or unreadable entries regenerate silently, and an
+    unwritable directory degrades to in-memory-only caching)."""
+    return os.environ.get("REPRO_COMPILE_CACHE", "1").strip()
+
+
+def _disk_entry_path(directory: str, source: str, opts: Options) -> str:
+    blob = f"{_DISK_CACHE_VERSION}\n{astuple(opts)!r}\n{source}"
+    key = hashlib.sha256(blob.encode()).hexdigest()
+    return os.path.join(directory, f"compile-{key}.pkl")
+
+
+def _disk_header(path: str) -> bytes:
+    stem = os.path.basename(path)
+    return f"# repro-compile {_DISK_CACHE_VERSION} {stem}\n".encode()
+
+
+def _disk_load(directory: str, source: str, opts: Options
+               ) -> Optional["CompiledProgram"]:
+    """Load a disk-cached compilation; any failure — missing file,
+    truncated header, unpicklable body — is a silent miss."""
+    path = _disk_entry_path(directory, source, opts)
+    header = _disk_header(path)
+    try:
+        with open(path, "rb") as fh:
+            if fh.read(len(header)) != header:
+                return None
+            obj = pickle.load(fh)
+    except Exception:
+        return None
+    return obj if isinstance(obj, CompiledProgram) else None
+
+
+def _disk_store(directory: str, source: str, opts: Options,
+                compiled: "CompiledProgram", tracer=None) -> None:
+    """Atomically write a disk-cache entry.  All failures are soft: an
+    unwritable or read-only cache directory degrades to uncached
+    (in-memory-only) compilation, recorded once per directory as a
+    ``compile.cache-degraded`` decision."""
+    path = _disk_entry_path(directory, source, opts)
+    try:
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(_disk_header(path))
+                pickle.dump(compiled, fh)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+    except (OSError, pickle.PicklingError):
+        _compile_cache_stats["disk_degraded"] += 1
+        if directory not in _degraded_dirs:
+            _degraded_dirs.add(directory)
+            if tracer is not None:
+                tracer.decision("compile.cache-degraded", dir=directory)
 
 
 def compile_program(
@@ -684,16 +761,21 @@ def compile_program(
 
     Repeated compilations of the same source text with equal options
     return a shared memoized :class:`CompiledProgram` (disable with
-    ``REPRO_COMPILE_CACHE=0``).  *trace* optionally supplies a
-    :class:`~repro.obs.Tracer` (or ``True``) recording per-phase timings
-    and compilation decisions; a memoized hit records a single
-    ``compile.cache-hit`` decision instead of re-tracing the phases.
+    ``REPRO_COMPILE_CACHE=0``; set it to a directory path for an
+    additional persistent on-disk cache shared across processes).
+    *trace* optionally supplies a :class:`~repro.obs.Tracer` (or
+    ``True``) recording per-phase timings and compilation decisions; a
+    memoized hit records a single ``compile.cache-hit`` decision
+    instead of re-tracing the phases.
     """
     opts = opts or Options()
     tracer = resolve_trace(trace)
+    setting = _cache_setting()
     cache_key = None
-    if isinstance(source, str) and \
-            os.environ.get("REPRO_COMPILE_CACHE", "1") != "0":
+    disk_dir = None
+    if isinstance(source, str) and setting != "0":
+        if setting not in ("", "1"):
+            disk_dir = setting
         cache_key = (source, astuple(opts))
         hit = _compile_cache.get(cache_key)
         if hit is not None:
@@ -702,11 +784,113 @@ def compile_program(
                 tracer.decision("compile.cache-hit", mode=opts.mode.value,
                                 nprocs=opts.nprocs)
             return hit
+        if disk_dir is not None:
+            hit = _disk_load(disk_dir, source, opts)
+            if hit is not None:
+                _compile_cache_stats["hits"] += 1
+                _compile_cache_stats["disk_hits"] += 1
+                _compile_cache[cache_key] = hit
+                if tracer is not None:
+                    tracer.decision("compile.cache-hit", tier="disk",
+                                    mode=opts.mode.value,
+                                    nprocs=opts.nprocs)
+                return hit
     _compile_cache_stats["misses"] += 1
     compiled = _compile_uncached(source, opts, tracer)
     if cache_key is not None:
         _compile_cache[cache_key] = compiled
+        if disk_dir is not None:
+            _disk_store(disk_dir, source, opts, compiled, tracer)
     return compiled
+
+
+def front_end(
+    source: Union[str, A.Program], opts: Options, tracer=None
+):
+    """The compiler front end shared by the whole-program driver and the
+    compile service: parse, interprocedural analysis (cloning + reaching
+    decompositions), and the §6.4 alias check.  Returns ``(prog, acg,
+    reaching, report)`` with the report seeded with cloning outcomes.
+    Deterministic: every process running it over the same source and
+    options reconstructs identical structures."""
+    def span(name, **fields):
+        return tracer.phase(name, **fields) if tracer is not None \
+            else nullcontext()
+
+    with span("parse"):
+        prog = parse(source) if isinstance(source, str) \
+            else _deep_copy(source)
+    report = CompileReport(mode=opts.mode, nprocs=opts.nprocs)
+
+    with span("interprocedural-analysis"):
+        if opts.mode in (Mode.INTER, Mode.INTRA):
+            outcome = clone_program(prog, opts)
+            prog, acg, reaching = \
+                outcome.program, outcome.acg, outcome.reaching
+            report.cloned = outcome.clones
+            if outcome.growth_capped:
+                report.note("cloning disabled: growth threshold exceeded")
+                if tracer is not None:
+                    tracer.decision("clone-growth-capped")
+            if tracer is not None:
+                for base, clones in sorted(report.cloned.items()):
+                    tracer.decision("clone", base=base,
+                                    clones=", ".join(clones))
+        else:
+            acg = ACG(prog)
+            reaching = compute_reaching(acg, opts)
+
+    # §6.4: dynamic decomposition of aliased variables is rejected
+    from ..analysis.aliasing import (
+        check_dynamic_decomposition,
+        compute_aliases,
+    )
+
+    with span("alias-analysis"):
+        check_dynamic_decomposition(acg, compute_aliases(acg))
+    return prog, acg, reaching, report
+
+
+def compile_procedure_unit(
+    prog: A.Program,
+    name: str,
+    acg: ACG,
+    reaching: ReachingResult,
+    opts: Options,
+    exports: dict[str, ProcExports],
+    report: CompileReport,
+    tags: TagAllocator,
+    main_name: str,
+    tracer=None,
+) -> ProcExports:
+    """Compile one procedure of the reverse-topological sweep, with the
+    paper's graceful degradation: a failed compile-time analysis demotes
+    the procedure to run-time resolution instead of aborting (unless
+    ``opts.strict``).  Mutates ``prog.unit(name)`` in place and appends
+    to *report*; returns the procedure's exports.  The compile service
+    and its workers call this for byte-identical per-procedure results
+    (same rewrites, same tag-allocation deltas) as the whole-program
+    driver."""
+    pc = ProcedureCompiler(
+        prog.unit(name), acg, reaching, opts, exports, report,
+        tags, is_main=(name == main_name), tracer=tracer,
+    )
+    if opts.strict:
+        return pc.compile()
+    try:
+        return pc.compile()
+    except (CompileError, UnsupportedSubscript) as e:
+        # Graceful degradation (§1, §4): instead of aborting on an
+        # unanalyzable construct, demote this one procedure to the
+        # run-time-resolution path — per-reference ownership tests and
+        # on-demand element messages need no analysis.  All
+        # compile-phase failures raise *before* the body rewrite, so
+        # the procedure is still pristine source here; it exports
+        # nothing, which callers already treat conservatively.
+        return _demote_to_rtr(
+            name, e, prog, acg, reaching, opts, exports,
+            report, tags, main_name, tracer,
+        )
 
 
 def _compile_uncached(
@@ -717,37 +901,7 @@ def _compile_uncached(
             else nullcontext()
 
     with span("compile", mode=opts.mode.value, nprocs=opts.nprocs):
-        with span("parse"):
-            prog = parse(source) if isinstance(source, str) \
-                else _deep_copy(source)
-        report = CompileReport(mode=opts.mode, nprocs=opts.nprocs)
-
-        with span("interprocedural-analysis"):
-            if opts.mode in (Mode.INTER, Mode.INTRA):
-                outcome = clone_program(prog, opts)
-                prog, acg, reaching = \
-                    outcome.program, outcome.acg, outcome.reaching
-                report.cloned = outcome.clones
-                if outcome.growth_capped:
-                    report.note("cloning disabled: growth threshold exceeded")
-                    if tracer is not None:
-                        tracer.decision("clone-growth-capped")
-                if tracer is not None:
-                    for base, clones in sorted(report.cloned.items()):
-                        tracer.decision("clone", base=base,
-                                        clones=", ".join(clones))
-            else:
-                acg = ACG(prog)
-                reaching = compute_reaching(acg, opts)
-
-        # §6.4: dynamic decomposition of aliased variables is rejected
-        from ..analysis.aliasing import (
-            check_dynamic_decomposition,
-            compute_aliases,
-        )
-
-        with span("alias-analysis"):
-            check_dynamic_decomposition(acg, compute_aliases(acg))
+        prog, acg, reaching, report = front_end(source, opts, tracer)
 
         # initial (static prologue) distributions of the main program
         with span("initial-distributions"):
@@ -758,30 +912,11 @@ def _compile_uncached(
         main_name = prog.main.name
         with span("codegen"):
             for name in acg.reverse_topological_order():
-                pc = ProcedureCompiler(
-                    prog.unit(name), acg, reaching, opts, exports, report,
-                    tags, is_main=(name == main_name), tracer=tracer,
-                )
                 with span("procedure", proc=name):
-                    if opts.strict:
-                        exports[name] = pc.compile()
-                        continue
-                    try:
-                        exports[name] = pc.compile()
-                    except (CompileError, UnsupportedSubscript) as e:
-                        # Graceful degradation (§1, §4): instead of
-                        # aborting on an unanalyzable construct, demote
-                        # this one procedure to the run-time-resolution
-                        # path — per-reference ownership tests and
-                        # on-demand element messages need no analysis.
-                        # All compile-phase failures raise *before* the
-                        # body rewrite, so the procedure is still
-                        # pristine source here; it exports nothing,
-                        # which callers already treat conservatively.
-                        exports[name] = _demote_to_rtr(
-                            name, e, prog, acg, reaching, opts, exports,
-                            report, tags, main_name, tracer,
-                        )
+                    exports[name] = compile_procedure_unit(
+                        prog, name, acg, reaching, opts, exports,
+                        report, tags, main_name, tracer,
+                    )
 
     compiled = CompiledProgram(prog, initial, report, opts)
     with span("emit-node-program", nprocs=opts.nprocs):

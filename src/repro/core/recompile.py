@@ -43,7 +43,11 @@ def source_fingerprint(proc: A.Procedure) -> str:
     return _digest(procedure_str(proc))
 
 
-def _exports_fingerprint(exp: ProcExports) -> str:
+def exports_fingerprint(exp: ProcExports) -> str:
+    """Stable fingerprint of everything a procedure exports to its
+    callers — the interface summary whose change forces callers to
+    recompile (also the summary-store key ingredient for the compile
+    service)."""
     parts = [exp.name]
     if exp.constraint is not None:
         c = exp.constraint
@@ -60,6 +64,38 @@ def _exports_fingerprint(exp: ProcExports) -> str:
                  f"{sorted((k, str(v)) for k, v in d.after.items())}:"
                  f"{sorted(d.full_kill)}")
     parts.append(str(sorted(exp.overlap_offsets.items())))
+    return _digest("|".join(parts))
+
+
+#: backwards-compatible private alias
+_exports_fingerprint = exports_fingerprint
+
+
+def inputs_fingerprint(
+    name: str,
+    acg: ACG,
+    reaching,
+    exports: dict[str, ProcExports],
+    opts: Options,
+) -> str:
+    """Fingerprint of every interprocedural input procedure *name*'s
+    compilation consumes: the facts reaching its entry, propagated
+    constants, the exports of its callees, and the option values that
+    shape code generation.  A procedure whose source *and* inputs
+    fingerprints are unchanged compiles to identical node code."""
+    parts = []
+    pr = reaching.per_proc[name]
+    parts.append(str(sorted(str(f) for f in pr.entry)))
+    consts = (getattr(reaching, "constants", None) or {}).get(name, {})
+    parts.append(str(sorted(consts.items())))
+    for site in acg.calls_from(name):
+        exp = exports.get(site.callee)
+        parts.append(
+            f"{site.callee}:" + (exports_fingerprint(exp) if exp else "-")
+        )
+    parts.append(str(opts.nprocs))
+    parts.append(opts.mode.value)
+    parts.append(str(int(opts.dynopt)))
     return _digest("|".join(parts))
 
 
@@ -145,17 +181,4 @@ class RecompilationManager:
         reaching,
         exports: dict[str, ProcExports],
     ) -> str:
-        parts = []
-        pr = reaching.per_proc[name]
-        parts.append(str(sorted(str(f) for f in pr.entry)))
-        consts = (getattr(reaching, "constants", None) or {}).get(name, {})
-        parts.append(str(sorted(consts.items())))
-        for site in acg.calls_from(name):
-            exp = exports.get(site.callee)
-            parts.append(
-                f"{site.callee}:" + (_exports_fingerprint(exp) if exp else "-")
-            )
-        parts.append(str(self.opts.nprocs))
-        parts.append(self.opts.mode.value)
-        parts.append(str(int(self.opts.dynopt)))
-        return _digest("|".join(parts))
+        return inputs_fingerprint(name, acg, reaching, exports, self.opts)

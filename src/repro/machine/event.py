@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import heapq
 import threading
+import time
 from typing import Any, Callable, Generator, Optional
 
 import numpy as np
@@ -61,6 +62,12 @@ from .network import (
     resolve_timeout,
 )
 from .scheduler import READY, CoopCollectives, CoopNetwork
+
+#: dispatches between wall-clock deadline probes in the event loop —
+#: small enough that a ping-pong livelock dies within a fraction of a
+#: second of the deadline, large enough that time.monotonic() never
+#: shows up in profiles
+_CHECK_EVERY = 256
 
 #: int8 state codes for the structure-of-arrays rank state
 S_READY = 0
@@ -217,6 +224,28 @@ class EventScheduler:
         self._detail[rank] = None
         self.clocks[rank] = clock
 
+    def _teardown(self, coros: list[Any]) -> None:
+        """Resume every live coroutine once so it observes the failure
+        and exits — the same drain a declared deadlock gets from the
+        main loop, run eagerly here so fiber-carried node programs
+        (whose yields park a real thread) don't outlive the raise.
+        Every live rank sits at a yield inside a communication op and
+        raises on the resume; the loop is bounded defensively anyway."""
+        self.fail()
+        for _ in range(4 * self.nprocs):
+            r = self._pop_runnable()
+            if r is None:
+                return
+            self.states[r] = S_RUNNING
+            try:
+                coros[r].send(None)
+            except StopIteration:
+                continue
+            except Exception:  # pragma: no cover - defensive
+                continue
+            # yielded again before observing the failure: one more pass
+            heapq.heappush(self._heap, (float(self.clocks[r]), r))
+
     # -- the event loop ----------------------------------------------------
 
     def _pop_runnable(self) -> Optional[int]:
@@ -245,6 +274,16 @@ class EventScheduler:
         for r in range(self.nprocs):
             heapq.heappush(heap, (0.0, r))
         tracer = self.tracer
+        # Wall-clock safety net (REPRO_SIM_TIMEOUT): the calendar loop
+        # runs on the calling thread, so a runaway program that keeps
+        # generating events forever — e.g. one rank ping-ponging
+        # messages while another stays blocked — would never hit the
+        # per-park timeouts the coop/threads backends enforce.  Check
+        # the deadline periodically (every _CHECK_EVERY dispatches:
+        # cheap relative to one gen.send) and tear the run down with
+        # the same DeadlockError surface the other backends raise.
+        deadline = time.monotonic() + self.timeout_s
+        unchecked = 0
         while True:
             r = self._pop_runnable()
             if r is None:
@@ -252,6 +291,17 @@ class EventScheduler:
                 if not heap:
                     break
                 continue
+            unchecked += 1
+            if unchecked >= _CHECK_EVERY:
+                unchecked = 0
+                if time.monotonic() > deadline:
+                    self._teardown(coros)
+                    raise DeadlockError(
+                        f"deadlock: wall-clock timeout: event loop "
+                        f"still dispatching after {self.timeout_s:.1f}s "
+                        f"({self.dispatches} dispatches; runaway node "
+                        f"program or REPRO_SIM_TIMEOUT too low)"
+                    )
             self.dispatches += 1
             self.states[r] = S_RUNNING
             if tracer is not None:

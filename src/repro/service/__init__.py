@@ -1,0 +1,50 @@
+"""Compile service: a supervised, incremental compiler daemon.
+
+The paper's §8 recompilation analysis exists to preserve separate
+compilation; this package turns it into a long-lived *service*.  A
+daemon (`fdc serve`) listens on a unix socket, keeps a content-addressed
+per-procedure summary store (procedure ASTs, exports, report fragments
+keyed by source + interprocedural-input fingerprints) and dispatches
+procedures whose recompilation tests fire to a supervised worker-process
+pool.  Clients (`fdc --server`) fall back to in-process compilation on
+any infrastructure failure — the service accelerates compilation, it
+never changes its results: service output is byte-identical to
+``compile_program``.
+
+Layers::
+
+    protocol.py   length-prefixed JSON frames + wire (de)serialization
+    store.py      crash-safe content-addressed summary store
+    compiler.py   ServiceCompiler: incremental waves over the ACG
+    worker.py     per-procedure compile worker (python -m ...)
+    pool.py       supervised worker pool (restart, backoff, deadlines)
+    daemon.py     the socket server (queueing, backpressure, shedding)
+    client.py     CompileClient + graceful in-process fallback
+
+See ``docs/service.md`` for the protocol, the store layout, and the
+failure/degradation matrix.
+"""
+
+from .client import (
+    CompileClient,
+    client_stats,
+    compile_with_fallback,
+    resolve_server,
+)
+from .compiler import ServiceCompiler
+from .daemon import CompileDaemon
+from .pool import WorkerPool
+from .protocol import ServiceError
+from .store import SummaryStore
+
+__all__ = [
+    "CompileClient",
+    "CompileDaemon",
+    "ServiceCompiler",
+    "ServiceError",
+    "SummaryStore",
+    "WorkerPool",
+    "client_stats",
+    "compile_with_fallback",
+    "resolve_server",
+]

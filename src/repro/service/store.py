@@ -1,0 +1,172 @@
+"""Content-addressed per-procedure summary store.
+
+One entry holds everything the §8 recompilation test lets the service
+reuse for a procedure: its compiled body (with *locally numbered*
+message tags 1..tag_count — the assembly phase renumbers them into the
+whole-program sequence), its exports (RSD summaries, reaching
+decomposition sets, overlaps, pending communication), and the fragment
+of the compile report its compilation produced.
+
+Entries are keyed by a digest of
+
+* the store format version,
+* an options fingerprint (every :class:`Options` field),
+* the procedure's source fingerprint
+  (:func:`~repro.core.recompile.source_fingerprint`), and
+* its interprocedural-inputs fingerprint
+  (:func:`~repro.core.recompile.inputs_fingerprint` — reaching facts,
+  propagated constants, callee exports),
+
+so a hit is valid by construction; there is no invalidation protocol.
+
+Disk discipline follows ``codegen/cache.py``: entries are written to a
+mkstemp temp file and published with ``os.replace`` (atomic on POSIX),
+start with a self-describing header naming the format version and their
+own key, and *every* read/write failure is soft — corrupt, stale,
+truncated, or unreadable entries count as misses and regenerate
+silently; an unwritable directory degrades the store to memory-only.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from dataclasses import astuple, dataclass, field
+from typing import Optional
+
+from ..core.options import CompileReport, Options
+from ..lang import ast as A
+
+#: bump when ProcSummary's pickled shape changes; old entries then fail
+#: the header check and regenerate
+STORE_VERSION = "1"
+
+
+def _digest(text: str) -> str:
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def opts_fingerprint(opts: Options) -> str:
+    """Fingerprint of every compilation option (any of them can change
+    generated code, so all of them key the store)."""
+    return _digest(repr(astuple(opts)))[:16]
+
+
+@dataclass
+class ProcSummary:
+    """One procedure's reusable compilation result."""
+
+    name: str
+    #: compiled body with local tags 1..tag_count
+    proc: A.Procedure
+    exports: object                 # ProcExports (picklable, name-keyed)
+    tag_count: int
+    #: the per-procedure slice of the compile report
+    fragment: CompileReport
+
+
+@dataclass
+class SummaryStore:
+    """Two-tier (memory + optional disk) summary store."""
+
+    directory: Optional[str] = None
+    memory: dict[str, ProcSummary] = field(default_factory=dict)
+    counters: dict[str, int] = field(default_factory=lambda: {
+        "hits": 0, "misses": 0, "disk_hits": 0, "stores": 0,
+        "corrupt": 0, "degraded": 0,
+    })
+    #: set when a write failed; disk layer disabled for this store
+    degraded: bool = False
+
+    # -- keys ---------------------------------------------------------------
+
+    @staticmethod
+    def key(opts_fp: str, src_fp: str, in_fp: str) -> str:
+        return _digest(f"{STORE_VERSION}|{opts_fp}|{src_fp}|{in_fp}")
+
+    def _path(self, key: str) -> str:
+        assert self.directory is not None
+        return os.path.join(self.directory, f"proc-{key}.pkl")
+
+    def _header(self, key: str) -> bytes:
+        return f"# repro-summary {STORE_VERSION} proc-{key}.pkl\n".encode()
+
+    # -- access -------------------------------------------------------------
+
+    def load(self, key: str) -> Optional[ProcSummary]:
+        hit = self.memory.get(key)
+        if hit is not None:
+            self.counters["hits"] += 1
+            return hit
+        if self.directory is not None and not self.degraded:
+            hit = self._disk_load(key)
+            if hit is not None:
+                self.memory[key] = hit
+                self.counters["hits"] += 1
+                self.counters["disk_hits"] += 1
+                return hit
+        self.counters["misses"] += 1
+        return None
+
+    def store(self, key: str, summary: ProcSummary) -> None:
+        self.memory[key] = summary
+        self.counters["stores"] += 1
+        if self.directory is not None and not self.degraded:
+            self._disk_store(key, summary)
+
+    def stats(self) -> dict:
+        return dict(self.counters)
+
+    # -- disk tier ----------------------------------------------------------
+
+    def _disk_load(self, key: str) -> Optional[ProcSummary]:
+        path = self._path(key)
+        header = self._header(key)
+        try:
+            with open(path, "rb") as fh:
+                if fh.read(len(header)) != header:
+                    # truncated, stale version, or foreign file: treat
+                    # as corrupt, drop it, regenerate silently
+                    self.counters["corrupt"] += 1
+                    self._discard(path)
+                    return None
+                obj = pickle.load(fh)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            self.counters["corrupt"] += 1
+            self._discard(path)
+            return None
+        if not isinstance(obj, ProcSummary):
+            self.counters["corrupt"] += 1
+            self._discard(path)
+            return None
+        return obj
+
+    def _disk_store(self, key: str, summary: ProcSummary) -> None:
+        path = self._path(key)
+        try:
+            os.makedirs(self.directory, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    fh.write(self._header(key))
+                    pickle.dump(summary, fh,
+                                protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)
+            except BaseException:
+                self._discard(tmp)
+                raise
+        except (OSError, pickle.PicklingError):
+            # unwritable/read-only directory: memory-only from here on
+            self.counters["degraded"] += 1
+            self.degraded = True
+
+    @staticmethod
+    def _discard(path: str) -> None:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass

@@ -1,0 +1,140 @@
+"""Compile worker: one procedure-compiling subprocess.
+
+Run as ``python -m repro.service.worker``.  Speaks length-prefixed
+pickle frames over stdin/stdout (see :mod:`.protocol`); the pool is the
+only intended peer, and pool and worker are always the same build.
+
+Jobs::
+
+    {"op": "ping"}
+    {"op": "exit"}
+    {"op": "compile", "source": str, "opts": Options, "names": [str],
+     "exports": {name: ProcExports}, "main_name": str,
+     "crash_flag": path|None, "hang_flag": path|None}
+
+A compile job re-runs the deterministic front end from source (reaching
+results are keyed by statement identity, so they cannot travel between
+processes) and compiles each requested procedure with a private tag
+allocator via the same :func:`~repro.service.compiler.compile_one` the
+in-daemon fallback uses — results are byte-identical either way.  The
+front end is memoized per (source, options) so one wave's many jobs
+parse and analyze once.
+
+``crash_flag`` and ``hang_flag`` are the chaos hooks: if the named
+file exists when a compile job arrives, the worker consumes it and
+SIGKILLs itself (crash) or sleeps forever (hang) — deterministic
+mid-compile failures for the supervisor tests.
+
+Any per-job exception is reported as ``{"ok": False, "error": ...}``;
+the worker itself keeps running.  Stray prints cannot corrupt framing:
+stdout is duplicated for frames and ``sys.stdout`` is rebound to
+stderr before any compilation runs.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import sys
+import time
+from collections import OrderedDict
+
+from ..core.driver import front_end
+from ..core.recompile import _digest
+from .compiler import compile_one
+from .protocol import read_pipe_frame, write_pipe_frame
+from .store import opts_fingerprint
+
+#: front-end memo size (source+options pairs); jobs in one wave share
+#: one entry, a small window covers edit sequences
+_FRONT_END_MEMO = 4
+
+
+class _FrontEndCache:
+    """LRU of (source, options) -> (prog, acg, reaching, used_names).
+
+    ``used_names`` tracks procedures already compiled against this
+    front end: compilation rewrites the procedure body in place, and
+    reaching results are keyed by the *original* statement identities —
+    so a name may be compiled at most once per front-end instance.  A
+    repeat request (possible after pool retries) re-runs the front end.
+    """
+
+    def __init__(self, cap: int = _FRONT_END_MEMO) -> None:
+        self.cap = cap
+        self.entries: OrderedDict[tuple, tuple] = OrderedDict()
+
+    def get(self, source, opts, names):
+        key = (_digest(source), opts_fingerprint(opts))
+        entry = self.entries.get(key)
+        if entry is not None:
+            used = entry[3]
+            if used.isdisjoint(names):
+                self.entries.move_to_end(key)
+                used.update(names)
+                return entry[:3]
+            del self.entries[key]
+        prog, acg, reaching, _report = front_end(source, opts)
+        self.entries[key] = (prog, acg, reaching, set(names))
+        while len(self.entries) > self.cap:
+            self.entries.popitem(last=False)
+        return prog, acg, reaching
+
+
+def _handle_compile(job: dict, cache: _FrontEndCache) -> dict:
+    flag = job.get("crash_flag")
+    if flag and os.path.exists(flag):
+        # chaos hook: die abruptly mid-request, exactly once per flag
+        try:
+            os.unlink(flag)
+        finally:
+            os.kill(os.getpid(), signal.SIGKILL)
+    flag = job.get("hang_flag")
+    if flag and os.path.exists(flag):
+        # chaos hook: wedge mid-request so the supervisor's deadline
+        # reads and SIGKILL-restart path get exercised
+        os.unlink(flag)
+        time.sleep(3600)
+    source = job["source"]
+    opts = job["opts"]
+    names = job["names"]
+    prog, acg, reaching = cache.get(source, opts, names)
+    exports = dict(job["exports"])
+    results = []
+    for name in names:
+        s = compile_one(prog, name, acg, reaching, opts, exports,
+                        job["main_name"])
+        results.append(s)
+    return {"ok": True, "results": results}
+
+
+def main() -> int:
+    # claim the frame channel before anything can print to it
+    out = os.fdopen(os.dup(1), "wb")
+    inp = os.fdopen(os.dup(0), "rb")
+    sys.stdout = sys.stderr
+    cache = _FrontEndCache()
+    while True:
+        job = read_pipe_frame(inp)
+        if job is None or job.get("op") == "exit":
+            return 0
+        if job.get("op") == "ping":
+            write_pipe_frame(out, {"ok": True, "pong": True,
+                                   "pid": os.getpid()})
+            continue
+        if job.get("op") != "compile":
+            write_pipe_frame(
+                out, {"ok": False, "error": f"unknown op {job.get('op')!r}"}
+            )
+            continue
+        try:
+            reply = _handle_compile(job, cache)
+        except Exception as e:  # report, stay alive
+            reply = {"ok": False,
+                     "error": f"{type(e).__name__}: {e}",
+                     "names": job.get("names")}
+        write_pipe_frame(out, reply)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

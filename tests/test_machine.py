@@ -395,6 +395,49 @@ class TestTimeoutConfig:
         assert resolve_timeout(None) == 60.0
 
 
+class TestEventBackendTimeout:
+    """Regression: the event backend runs the calendar loop on the
+    calling thread, so a runaway (livelocking) node program used to
+    escape the REPRO_SIM_TIMEOUT safety net the coop/threads backends
+    enforce via per-park timeouts.  The loop now checks the wall-clock
+    deadline periodically."""
+
+    def test_livelock_hits_wall_clock_timeout(self):
+        def prog(ctx):
+            # endless ping-pong: every rank always makes progress, so
+            # no deadlock is ever detectable — only the wall clock can
+            # end this
+            peer = 1 - ctx.rank
+            i = 0
+            while True:
+                ctx.send(peer, i, 1, 8)
+                ctx.recv(peer, i)
+                i += 1
+
+        t0 = time.monotonic()
+        with pytest.raises(SimulationError) as ei:
+            Machine(2, FREE, scheduler="event", timeout_s=0.5).run(prog)
+        assert time.monotonic() - t0 < 30
+        assert "timeout" in str(ei.value)
+        # the teardown must not leak fiber threads (they'd trip later
+        # tests' node_threads() checks)
+        limit = time.monotonic() + 5
+        while node_threads() and time.monotonic() < limit:
+            time.sleep(0.01)
+        assert not node_threads()
+
+    def test_normal_program_unaffected(self):
+        def prog(ctx):
+            peer = 1 - ctx.rank
+            for i in range(50):
+                ctx.send(peer, i, ctx.rank, 8)
+                ctx.recv(peer, i)
+            return ctx.rank
+
+        assert Machine(2, FREE, scheduler="event",
+                       timeout_s=20.0).run(prog) == [0, 1]
+
+
 class TestFaultInjection:
     def _ring(self, ctx):
         nxt = (ctx.rank + 1) % ctx.nprocs
