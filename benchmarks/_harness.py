@@ -9,8 +9,10 @@ the *shape* — who wins and by roughly what factor.
 
 from __future__ import annotations
 
+import datetime
 import json
 import os
+import subprocess
 from pathlib import Path
 
 import numpy as np
@@ -25,6 +27,32 @@ from repro.machine import IPSC860, resolve_scheduler, resolve_topology
 REPO_ROOT = Path(__file__).resolve().parents[1]
 
 
+def git_sha() -> str:
+    """The repository HEAD commit (short), or "unknown" outside a git
+    checkout / without a git binary."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT, capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def bench_timestamp() -> str:
+    """ISO-8601 UTC generation time; ``REPRO_BENCH_TIMESTAMP`` (e.g. a
+    CI pipeline's start time) overrides the clock so reruns of one
+    pipeline produce identical payloads."""
+    injected = os.environ.get("REPRO_BENCH_TIMESTAMP")
+    if injected:
+        return injected
+    return datetime.datetime.now(datetime.timezone.utc).isoformat(
+        timespec="seconds"
+    )
+
+
 def emit_bench(name: str, payload: dict) -> Path:
     """Write *payload* to ``BENCH_<name>.json`` at the repository root.
 
@@ -33,15 +61,18 @@ def emit_bench(name: str, payload: dict) -> Path:
     paper-style tables and are uploaded as CI artifacts.
 
     Every payload is made self-describing: the active scheduler
-    backend, topology, host CPU count, and execution path
-    (vectorization and node-program codegen switches) are stamped in
-    (explicit keys set by the benchmark win) so a downloaded artifact
-    identifies the configuration that produced it without consulting
-    CI logs.
+    backend, topology, host CPU count, execution path (vectorization
+    and node-program codegen switches), the producing commit
+    (``git_sha``), and the generation time (``generated_at``,
+    injectable via ``REPRO_BENCH_TIMESTAMP``) are stamped in (explicit
+    keys set by the benchmark win) so a downloaded artifact identifies
+    the configuration that produced it without consulting CI logs.
     """
     from repro.codegen import enabled as codegen_enabled
     from repro.interp.vectorize import enabled as vectorize_enabled
 
+    payload.setdefault("git_sha", git_sha())
+    payload.setdefault("generated_at", bench_timestamp())
     payload.setdefault("scheduler", resolve_scheduler(None))
     payload.setdefault("topology", resolve_topology(None, 1).describe())
     payload.setdefault("host_cpus", os.cpu_count() or 1)

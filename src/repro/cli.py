@@ -33,7 +33,13 @@ import sys
 
 import numpy as np
 
-from .core import DynOpt, Mode, Options, compile_program
+from .core import (
+    DynOpt,
+    Mode,
+    Options,
+    compile_program,
+    parse_distribute_args,
+)
 from .core.driver import compile_cache_stats
 from .core.localize import localized_procedure_text
 from .dist import Distribution
@@ -89,6 +95,28 @@ def build_parser() -> argparse.ArgumentParser:
                    help="wall-clock safety-net timeout in seconds "
                         "(default REPRO_SIM_TIMEOUT or 60; deadlocks "
                         "are detected instantly regardless)")
+    p.add_argument("--distribute", metavar="ARRAY=KIND[:k]",
+                   action="append", default=None,
+                   help="override an array's distribution without "
+                        "editing source (repeatable): KIND is block, "
+                        "cyclic, or block_cyclic:k; a comma list gives "
+                        "per-dimension specs, e.g. a=:,cyclic — this is "
+                        "the override the auto-tuner emits")
+    p.add_argument("--autotune", action="store_true",
+                   help="search per-array distributions and processor "
+                        "counts on the simulator (event backend), report "
+                        "the best plan + predicted speedup, and apply it "
+                        "to this compilation")
+    p.add_argument("--budget", type=int, default=32, metavar="N",
+                   help="with --autotune: maximum candidate-plan "
+                        "evaluations (default 32)")
+    p.add_argument("--tune-workers", type=int, default=None, metavar="N",
+                   help="with --autotune: evaluate candidates across N "
+                        "worker processes (default: min(4, cpu count); "
+                        "0 = in-process serial sweep)")
+    p.add_argument("--tune-json", metavar="FILE",
+                   help="with --autotune: write the machine-readable "
+                        "search result (plans, objectives, best) as JSON")
     p.add_argument("--strict", action="store_true",
                    help="fail compilation on unanalyzable procedures "
                         "instead of demoting them to run-time "
@@ -227,12 +255,41 @@ def main(argv: list[str] | None = None) -> int:
         args.run = True
     tracer = Tracer() if (args.trace or args.profile) else None
 
+    try:
+        overrides = parse_distribute_args(args.distribute or [])
+    except ValueError as e:
+        print(f"fdc: {e}", file=sys.stderr)
+        return 2
+
     opts = Options(
         nprocs=args.nprocs,
         mode=Mode(args.mode),
         dynopt=DynOpt(args.dynopt),
         strict=args.strict,
+        distribute=overrides,
     )
+
+    if args.autotune:
+        from .tune import autotune, render_tune_report
+
+        try:
+            outcome = autotune(
+                source, opts, budget=args.budget,
+                workers=args.tune_workers,
+            )
+        except Exception as e:
+            print(f"fdc: autotune failed: {e}", file=sys.stderr)
+            return 1
+        print(render_tune_report(outcome))
+        if args.tune_json:
+            with open(args.tune_json, "w") as f:
+                json.dump(outcome.as_dict(), f, indent=2, sort_keys=True)
+                f.write("\n")
+        # apply the winning plan to this compilation: the rest of the
+        # run (--run/--verify/--report/...) sees the tuned layout
+        opts = outcome.best.apply(opts)
+        args.nprocs = opts.nprocs
+
     try:
         from .service import resolve_server
 

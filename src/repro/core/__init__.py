@@ -1,7 +1,15 @@
 """The interprocedural Fortran D compiler (the paper's contribution)."""
 
 from .driver import CompiledProgram, ProcedureCompiler, compile_program
-from .model import CompileError, Constraint, DecompSets, PendingComm, ProcExports
+from .model import (
+    CompileError,
+    Constraint,
+    DecompSets,
+    DistOverride,
+    PendingComm,
+    ProcExports,
+    parse_distribute_args,
+)
 from .localize import layout_summary, localized_procedure_text
 from .options import CompileReport, DynOpt, Mode, Options
 from .overlaps import (
@@ -22,6 +30,8 @@ __all__ = [
     "CompileReport",
     "CompileError",
     "Constraint",
+    "DistOverride",
+    "parse_distribute_args",
     "PendingComm",
     "ProcExports",
     "DecompSets",

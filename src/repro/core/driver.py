@@ -45,7 +45,12 @@ from .codegen import (
 )
 from .communication import CommPlanner
 from .dynamic import DynamicDecompPlanner
-from .model import CompileError, Constraint, ProcExports
+from .model import (
+    CompileError,
+    Constraint,
+    ProcExports,
+    apply_dist_overrides,
+)
 from .options import Mode, Options, CompileReport
 from .partition import (
     PartitionPlan,
@@ -278,6 +283,9 @@ class ProcedureCompiler:
         for act in comm.actions:
             self.report.comm_placements.append(
                 f"{proc.name}: level {act.level} {act.pending.describe()}"
+            )
+            self.report.comm_sites.append(
+                (proc.name, act.pending.array, act.pending.kind)
             )
             self._decide("comm-placement", proc=proc.name, level=act.level,
                          placement=act.pending.describe())
@@ -674,7 +682,7 @@ _compile_cache_stats = {"hits": 0, "misses": 0, "disk_hits": 0,
 
 #: bump when CompiledProgram's pickled shape changes; stale disk
 #: entries then fail the header check and regenerate
-_DISK_CACHE_VERSION = "1"
+_DISK_CACHE_VERSION = "2"
 
 #: directories already reported unwritable (one decision event per dir)
 _degraded_dirs: set[str] = set()
@@ -820,6 +828,15 @@ def front_end(
     with span("parse"):
         prog = parse(source) if isinstance(source, str) \
             else _deep_copy(source)
+    if opts.distribute:
+        # plan overrides rewrite DISTRIBUTE statements *before* any
+        # analysis, so every downstream fact (reaching decompositions,
+        # fingerprints, worker re-runs) sees the overridden layout
+        with span("distribution-overrides"):
+            apply_dist_overrides(prog, opts.distribute)
+            if tracer is not None:
+                for ov in opts.distribute:
+                    tracer.decision("dist-override", spec=ov.describe())
     report = CompileReport(mode=opts.mode, nprocs=opts.nprocs)
 
     with span("interprocedural-analysis"):

@@ -129,3 +129,163 @@ class ProcExports:
 
 class CompileError(Exception):
     """Input outside the compilable subset with no safe fallback."""
+
+
+# ---------------------------------------------------------------------------
+# distribution-plan overrides (``fdc --distribute`` / the auto-tuner)
+# ---------------------------------------------------------------------------
+
+#: distribution kinds a user or the tuner may request per dimension
+DIST_KINDS = ("block", "cyclic", "block_cyclic")
+
+
+@dataclass(frozen=True)
+class DistOverride:
+    """One array's distribution override.
+
+    ``specs`` is a tuple of per-dimension ``(kind, param)`` pairs in
+    :class:`~repro.lang.ast.DistSpec` terms.  A single-entry tuple on a
+    multi-dimensional array is *elastic*: the kind applies to every
+    dimension the source program distributes, non-distributed (``:``)
+    dimensions stay put — so ``a=cyclic`` turns ``distribute a(:, block)``
+    into ``distribute a(:, cyclic)`` without knowing the axis.
+    """
+
+    array: str
+    specs: tuple[tuple[str, Optional[int]], ...]
+
+    @staticmethod
+    def parse(text: str) -> "DistOverride":
+        """Parse ``ARRAY=KIND[:k]`` or ``ARRAY=SPEC,SPEC,...`` (each SPEC
+        one of ``block``, ``cyclic``, ``block_cyclic:k``, or ``:``).
+        Raises ``ValueError`` with a usage-quality message."""
+        if "=" not in text:
+            raise ValueError(
+                f"bad --distribute {text!r}: expected ARRAY=KIND[:k] "
+                f"(kinds: {', '.join(DIST_KINDS)}) or ARRAY=SPEC,SPEC,..."
+            )
+        array, _, rhs = text.partition("=")
+        array = array.strip()
+        if not array.isidentifier():
+            raise ValueError(
+                f"bad --distribute {text!r}: {array!r} is not an array name"
+            )
+        if not rhs.strip():
+            raise ValueError(f"bad --distribute {text!r}: empty spec")
+        specs: list[tuple[str, Optional[int]]] = []
+        for part in rhs.split(","):
+            part = part.strip()
+            if part == ":":
+                specs.append(("none", None))
+                continue
+            kind, _, param = part.partition(":")
+            kind = kind.strip().lower()
+            if kind not in DIST_KINDS:
+                raise ValueError(
+                    f"bad --distribute {text!r}: unknown kind {kind!r} "
+                    f"(expected one of {', '.join(DIST_KINDS)} or ':')"
+                )
+            if kind == "block_cyclic":
+                if not param:
+                    raise ValueError(
+                        f"bad --distribute {text!r}: block_cyclic needs "
+                        f"a block size, e.g. {array}=block_cyclic:4"
+                    )
+                try:
+                    k = int(param)
+                except ValueError:
+                    raise ValueError(
+                        f"bad --distribute {text!r}: block size "
+                        f"{param!r} is not an integer"
+                    ) from None
+                if k < 1:
+                    raise ValueError(
+                        f"bad --distribute {text!r}: block size must "
+                        f"be >= 1"
+                    )
+                specs.append((kind, k))
+            else:
+                if param:
+                    raise ValueError(
+                        f"bad --distribute {text!r}: {kind} takes no "
+                        f"parameter"
+                    )
+                specs.append((kind, None))
+        return DistOverride(array, tuple(specs))
+
+    def describe(self) -> str:
+        def one(kind, param):
+            if kind == "none":
+                return ":"
+            if kind == "block_cyclic":
+                return f"block_cyclic:{param}"
+            return kind
+
+        return f"{self.array}=" + ",".join(one(k, p) for k, p in self.specs)
+
+
+def parse_distribute_args(args: list[str]) -> tuple[DistOverride, ...]:
+    """Parse repeated ``--distribute`` values; later overrides of the
+    same array win (the tuner refines plans that way)."""
+    by_array: dict[str, DistOverride] = {}
+    for a in args:
+        ov = DistOverride.parse(a)
+        by_array[ov.array] = ov
+    return tuple(by_array.values())
+
+
+def apply_dist_overrides(prog, overrides) -> None:
+    """Rewrite every DISTRIBUTE statement of each overridden array,
+    program-wide (main *and* procedures — a phase-local DISTRIBUTE is a
+    remap point, and pinning the array to one layout collapses it).
+
+    Mutates *prog* in place.  Raises :class:`CompileError` when an
+    override names an array no DISTRIBUTE statement targets, or when an
+    explicit per-dimension spec list does not match the statement's
+    dimensionality.
+    """
+    if not overrides:
+        return
+    by_array = {ov.array: ov for ov in overrides}
+    seen: set[str] = set()
+    known: set[str] = set()
+    for unit in prog.units:
+        for s in A.walk_stmts(unit.body):
+            if not isinstance(s, A.Distribute):
+                continue
+            known.add(s.name)
+            ov = by_array.get(s.name)
+            if ov is None:
+                continue
+            seen.add(s.name)
+            s.specs = _overridden_specs(unit.name, s, ov)
+    missing = sorted(set(by_array) - seen)
+    if missing:
+        raise CompileError(
+            f"--distribute names unknown array(s) {', '.join(missing)}: "
+            f"no DISTRIBUTE statement targets them (distributed arrays: "
+            f"{', '.join(sorted(known)) or 'none'})"
+        )
+
+
+def _overridden_specs(proc_name: str, stmt, ov: DistOverride):
+    old = list(stmt.specs)
+    if len(ov.specs) == 1 and len(old) > 1:
+        # elastic form: retarget only the distributed dimensions
+        kind, param = ov.specs[0]
+        if kind == "none":
+            raise CompileError(
+                f"--distribute {ov.describe()}: ':' alone would "
+                f"undistribute {ov.array}; spell out every dimension"
+            )
+        return [
+            A.DistSpec(kind, param) if sp.kind != "none" else sp
+            for sp in old
+        ]
+    if len(ov.specs) != len(old):
+        raise CompileError(
+            f"--distribute {ov.describe()}: {len(ov.specs)} spec(s) for "
+            f"{len(old)}-dimensional DISTRIBUTE of {ov.array} in "
+            f"{proc_name}"
+        )
+    return [A.DistSpec(kind, param) for kind, param in ov.specs]

@@ -62,6 +62,12 @@ class Options:
     #: compilation — exactly the paper's fallback (§1, §4).  strict=True
     #: preserves the hard-error behavior for tests and debugging.
     strict: bool = False
+    #: distribution-plan overrides applied to the parsed program before
+    #: any analysis runs (a tuple of :class:`~repro.core.model.DistOverride`):
+    #: every DISTRIBUTE statement naming an overridden array is rewritten
+    #: to the override's specs, so a candidate layout applies without
+    #: editing source (``fdc --distribute`` / the auto-tuner).
+    distribute: tuple = ()
 
     def notes_sink(self) -> list[str]:
         return []
@@ -78,6 +84,9 @@ class CompileReport:
     distributions: dict[str, dict[str, str]] = field(default_factory=dict)
     #: messages vectorized at each placement (for inspection)
     comm_placements: list[str] = field(default_factory=list)
+    #: machine-readable communication sites: (procedure, array, kind) —
+    #: the auto-tuner's map from traffic back to tunable arrays
+    comm_sites: list[tuple[str, str, str]] = field(default_factory=list)
     #: arrays that fell back to run-time resolution, with reasons
     rtr_fallbacks: list[str] = field(default_factory=list)
     #: whole procedures demoted to the run-time-resolution path after an

@@ -30,6 +30,7 @@ from .profile import (
     comm_matrix,
     critical_path,
     link_traffic,
+    objective_summary,
     path_length,
     profile_report,
 )
@@ -44,6 +45,7 @@ __all__ = [
     "comm_matrix",
     "critical_path",
     "link_traffic",
+    "objective_summary",
     "path_length",
     "profile_report",
 ]

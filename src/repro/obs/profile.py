@@ -234,6 +234,32 @@ def path_length(segments: list[dict]) -> float:
     return sum(s["dur"] for s in segments)
 
 
+def objective_summary(tracer: Tracer, stats) -> dict:
+    """Machine-readable tuning objective: the profile report's numbers
+    as data.  The auto-tuner prunes its plan space with this —
+    ``comm_share`` (fraction of the critical path not spent computing)
+    decides whether layout search is worth anything at all, and
+    ``hotspots`` names the procedures/statements whose arrays are worth
+    retargeting.
+
+    Returns ``{time_us, path: {kind: virtual-us on the critical path},
+    comm_share, hotspots: [{proc, origin, kind, count, bytes}],
+    bytes_by_array_site: [...comm_hotspots rows...]}``.
+    """
+    segs = critical_path(tracer, stats.proc_times)
+    by_kind: dict[str, float] = {}
+    for s in segs:
+        by_kind[s["kind"]] = by_kind.get(s["kind"], 0.0) + s["dur"]
+    total = path_length(segs)
+    comm = sum(v for k, v in by_kind.items() if k != "compute")
+    return {
+        "time_us": stats.time_us,
+        "path": by_kind,
+        "comm_share": (comm / total) if total > 0 else 0.0,
+        "hotspots": comm_hotspots(tracer),
+    }
+
+
 # ---------------------------------------------------------------------------
 # the --profile text report
 # ---------------------------------------------------------------------------

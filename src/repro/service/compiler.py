@@ -43,7 +43,7 @@ from ..core.options import CompileReport, Options
 from ..core.recompile import inputs_fingerprint, source_fingerprint
 from ..lang import ast as A
 from .protocol import ServiceError
-from .store import ProcSummary, SummaryStore, opts_fingerprint
+from .store import ProcSummary, SummaryStore, store_opts_fingerprint
 
 #: statement types carrying allocator-issued message tags (tag > 0 iff
 #: the allocator issued it; tags only affect runtime message matching,
@@ -69,6 +69,7 @@ def merge_fragment(report: CompileReport, frag: CompileReport) -> None:
     for proc, dists in frag.distributions.items():
         report.distributions.setdefault(proc, {}).update(dists)
     report.comm_placements.extend(frag.comm_placements)
+    report.comm_sites.extend(frag.comm_sites)
     report.rtr_fallbacks.extend(frag.rtr_fallbacks)
     report.rtr_demotions.extend(frag.rtr_demotions)
     report.remaps_emitted += frag.remaps_emitted
@@ -142,7 +143,10 @@ class ServiceCompiler:
             initial = _initial_distributions(prog, reaching, opts)
 
         order = list(acg.reverse_topological_order())
-        opts_fp = opts_fingerprint(opts)
+        # plan-invariant on purpose: distribution overrides rewrite the
+        # program before fingerprinting, so sibling tuning plans share
+        # summaries of untouched procedures (see store_opts_fingerprint)
+        opts_fp = store_opts_fingerprint(opts)
         main_name = prog.main.name
         src_fps = {n: source_fingerprint(prog.unit(n)) for n in order}
 

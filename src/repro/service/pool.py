@@ -171,31 +171,64 @@ class WorkerPool:
             "names": chunk, "exports": exports, "main_name": main_name,
             "crash_flag": self.crash_flag, "hang_flag": self.hang_flag,
         } for chunk in chunks]
-        if len(jobs) == 1:
-            replies = [self._run_job(jobs[0], deadline)]
-        else:
-            replies = [None] * len(jobs)
-            errors: list[Exception] = []
-
-            def run(i):
-                try:
-                    replies[i] = self._run_job(jobs[i], deadline)
-                except Exception as e:
-                    errors.append(e)
-
-            threads = [threading.Thread(target=run, args=(i,),
-                                        daemon=True)
-                       for i in range(len(jobs))]
-            for t in threads:
-                t.start()
-            for t in threads:
-                t.join()
-            if errors:
-                raise errors[0]
+        replies = self._run_jobs(jobs, deadline)
         out: list[ProcSummary] = []
         for rep in replies:
             out.extend(rep["results"])
         return out
+
+    def evaluate_plans(self, source, plan_opts, scheduler: str = "event",
+                       cost: str = "ipsc860",
+                       store_dir: Optional[str] = None,
+                       deadline: Optional[float] = None) -> list[dict]:
+        """Evaluate candidate distribution plans (fully-formed
+        :class:`~repro.core.options.Options`, one per plan) across the
+        pool: compile each through the workers' persistent incremental
+        compilers (sharing *store_dir* summaries across processes) and
+        run it on the simulated machine.  Returns one metrics dict per
+        plan, in input order; an infeasible plan yields
+        ``{"error": ...}`` instead of metrics."""
+        if not plan_opts:
+            return []
+        indexed = [{"idx": i, "opts": o} for i, o in enumerate(plan_opts)]
+        nchunks = min(self.size, len(indexed))
+        chunks = [indexed[i::nchunks] for i in range(nchunks)]
+        jobs = [{
+            "op": "evaluate", "source": source, "plans": chunk,
+            "scheduler": scheduler, "cost": cost, "store_dir": store_dir,
+            "crash_flag": self.crash_flag, "hang_flag": self.hang_flag,
+        } for chunk in chunks]
+        replies = self._run_jobs(jobs, deadline)
+        out: list[Optional[dict]] = [None] * len(indexed)
+        for rep in replies:
+            for m in rep["results"]:
+                out[m.pop("idx")] = m
+        return out
+
+    def _run_jobs(self, jobs: list[dict],
+                  deadline: Optional[float]) -> list[dict]:
+        """Run the jobs concurrently (one thread per job, each blocking
+        on its own worker subprocess); raise the first failure."""
+        if len(jobs) == 1:
+            return [self._run_job(jobs[0], deadline)]
+        replies: list[Optional[dict]] = [None] * len(jobs)
+        errors: list[Exception] = []
+
+        def run(i):
+            try:
+                replies[i] = self._run_job(jobs[i], deadline)
+            except Exception as e:
+                errors.append(e)
+
+        threads = [threading.Thread(target=run, args=(i,), daemon=True)
+                   for i in range(len(jobs))]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if errors:
+            raise errors[0]
+        return replies
 
     def stats(self) -> dict:
         with self._lock:

@@ -33,7 +33,7 @@ import hashlib
 import os
 import pickle
 import tempfile
-from dataclasses import astuple, dataclass, field
+from dataclasses import astuple, dataclass, field, replace
 from typing import Optional
 
 from ..core.options import CompileReport, Options
@@ -41,7 +41,7 @@ from ..lang import ast as A
 
 #: bump when ProcSummary's pickled shape changes; old entries then fail
 #: the header check and regenerate
-STORE_VERSION = "1"
+STORE_VERSION = "2"
 
 
 def _digest(text: str) -> str:
@@ -52,6 +52,19 @@ def opts_fingerprint(opts: Options) -> str:
     """Fingerprint of every compilation option (any of them can change
     generated code, so all of them key the store)."""
     return _digest(repr(astuple(opts)))[:16]
+
+
+def store_opts_fingerprint(opts: Options) -> str:
+    """The *summary-store* options fingerprint: every option except the
+    distribution-plan overrides.  Overrides rewrite DISTRIBUTE
+    statements before analysis, so their whole effect is already visible
+    in the per-procedure source and interprocedural-inputs fingerprints
+    — excluding them here lets sibling candidate plans of one tuning run
+    share the summaries of every procedure the plan change does not
+    actually touch.  (The worker front-end memo keeps the full
+    :func:`opts_fingerprint`: two compilations of the same source under
+    different overrides are different programs.)"""
+    return opts_fingerprint(replace(opts, distribute=()))
 
 
 @dataclass

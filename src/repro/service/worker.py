@@ -11,6 +11,10 @@ Jobs::
     {"op": "compile", "source": str, "opts": Options, "names": [str],
      "exports": {name: ProcExports}, "main_name": str,
      "crash_flag": path|None, "hang_flag": path|None}
+    {"op": "evaluate", "source": str,
+     "plans": [{"idx": int, "opts": Options}],
+     "scheduler": str, "cost": str, "store_dir": path|None,
+     "crash_flag": path|None, "hang_flag": path|None}
 
 A compile job re-runs the deterministic front end from source (reaching
 results are keyed by statement identity, so they cannot travel between
@@ -81,7 +85,7 @@ class _FrontEndCache:
         return prog, acg, reaching
 
 
-def _handle_compile(job: dict, cache: _FrontEndCache) -> dict:
+def _consume_chaos_flags(job: dict) -> None:
     flag = job.get("crash_flag")
     if flag and os.path.exists(flag):
         # chaos hook: die abruptly mid-request, exactly once per flag
@@ -95,6 +99,10 @@ def _handle_compile(job: dict, cache: _FrontEndCache) -> dict:
         # reads and SIGKILL-restart path get exercised
         os.unlink(flag)
         time.sleep(3600)
+
+
+def _handle_compile(job: dict, cache: _FrontEndCache) -> dict:
+    _consume_chaos_flags(job)
     source = job["source"]
     opts = job["opts"]
     names = job["names"]
@@ -105,6 +113,42 @@ def _handle_compile(job: dict, cache: _FrontEndCache) -> dict:
         s = compile_one(prog, name, acg, reaching, opts, exports,
                         job["main_name"])
         results.append(s)
+    return {"ok": True, "results": results}
+
+
+#: per-process evaluation compilers, one per summary-store directory —
+#: persistent so every plan a worker evaluates reuses the summaries of
+#: the plans before it (the disk tier shares them *across* workers)
+_EVAL_COMPILERS: dict[str, object] = {}
+
+
+def _handle_evaluate(job: dict) -> dict:
+    """Evaluate a chunk of candidate distribution plans: compile each
+    plan's :class:`Options` through a persistent incremental
+    :class:`~repro.service.compiler.ServiceCompiler` and run it on the
+    simulated machine.  Per-plan failures (e.g. a plan outside the
+    compilable subset) are reported in-band so sibling plans in the
+    chunk still produce metrics."""
+    from ..tune.evaluate import evaluate_plan, make_eval_compiler
+
+    _consume_chaos_flags(job)
+    store_dir = job.get("store_dir")
+    sc = _EVAL_COMPILERS.get(store_dir or "")
+    if sc is None:
+        sc = make_eval_compiler(store_dir)
+        _EVAL_COMPILERS[store_dir or ""] = sc
+    results = []
+    for plan in job["plans"]:
+        try:
+            metrics = evaluate_plan(
+                sc, job["source"], plan["opts"],
+                scheduler=job.get("scheduler", "event"),
+                cost=job.get("cost", "ipsc860"),
+            )
+        except Exception as e:
+            metrics = {"error": f"{type(e).__name__}: {e}"}
+        metrics["idx"] = plan["idx"]
+        results.append(metrics)
     return {"ok": True, "results": results}
 
 
@@ -122,13 +166,16 @@ def main() -> int:
             write_pipe_frame(out, {"ok": True, "pong": True,
                                    "pid": os.getpid()})
             continue
-        if job.get("op") != "compile":
+        if job.get("op") not in ("compile", "evaluate"):
             write_pipe_frame(
                 out, {"ok": False, "error": f"unknown op {job.get('op')!r}"}
             )
             continue
         try:
-            reply = _handle_compile(job, cache)
+            if job["op"] == "evaluate":
+                reply = _handle_evaluate(job)
+            else:
+                reply = _handle_compile(job, cache)
         except Exception as e:  # report, stay alive
             reply = {"ok": False,
                      "error": f"{type(e).__name__}: {e}",

@@ -1,0 +1,194 @@
+"""Search-space construction and profile-guided pruning.
+
+The tuner does not enumerate the full cross product of (array × kind ×
+block size × processor count) — the paper's own profile data says most
+of that space is dead.  Instead:
+
+* **Targets** are the DISTRIBUTE statement targets (arrays or
+  decompositions).  An array that communicates shows up in the compile
+  report's ``comm_sites``; following its ALIGN chain maps it back to the
+  DISTRIBUTE target the override must name.  Targets with *no*
+  communication anywhere keep their defaults — changing a layout nobody
+  exchanges data over can only add remaps.
+* **Kind moves** are generated only when the traced base run says
+  communication matters at all (``comm_share`` of the critical path ≥
+  :data:`MIN_COMM_SHARE`); a compute-bound program gets a processor
+  sweep only.
+* **Block-cyclic sweeps** (k ∈ :data:`BLOCK_SIZES`) run only for
+  targets where plain ``cyclic`` already beat the as-written layout —
+  block_cyclic interpolates between block and cyclic, so if cyclic
+  loses there is nothing between to find.
+* **Combination plans** (stage 3) compose the best per-coordinate moves
+  and are only emitted when at least two coordinates improved
+  independently.
+
+Everything is deterministic: targets are ordered by communication-site
+count (descending, then name) and candidate lists are generated in a
+fixed order, so equal budgets explore equal spaces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.model import DistOverride
+from ..core.options import Options
+from ..lang import ast as A
+from ..lang.parser import parse
+from .plan import Plan
+
+#: processor counts the sweep tries (the base count is skipped)
+NPROCS_CANDIDATES = (2, 4, 8, 16, 32)
+
+#: block sizes for the block_cyclic refinement sweep
+BLOCK_SIZES = (2, 4, 8)
+
+#: minimum communication share of the critical path before layout
+#: (kind) moves are generated at all
+MIN_COMM_SHARE = 0.02
+
+#: distribution kinds tried as whole-array moves
+KIND_MOVES = ("block", "cyclic")
+
+
+@dataclass
+class TuneSpace:
+    """What the program offers the tuner."""
+
+    #: DISTRIBUTE targets that communicate, hottest first
+    hot_targets: list[str]
+    #: every DISTRIBUTE target -> set of kinds its statements use
+    current_kinds: dict[str, set] = field(default_factory=dict)
+    #: base (as-written) processor count
+    nprocs0: int = 4
+
+
+def _align_map(prog: A.Program) -> dict[str, str]:
+    """array -> ALIGN target (decomposition or carrier array)."""
+    out: dict[str, str] = {}
+    for unit in prog.units:
+        for s in A.walk_stmts(unit.body):
+            if isinstance(s, A.Align):
+                out[s.array] = s.decomp
+    return out
+
+
+def _resolve_target(name: str, align: dict[str, str],
+                    targets: set[str]) -> str:
+    """Follow the ALIGN chain from a communicated array to the
+    DISTRIBUTE target an override must name."""
+    seen = set()
+    while name not in targets and name in align and name not in seen:
+        seen.add(name)
+        name = align[name]
+    return name
+
+
+def build_space(source: str, base_metrics: dict,
+                opts: Options) -> TuneSpace:
+    """Read the program's DISTRIBUTE/ALIGN structure and the base run's
+    ``comm_sites`` into a :class:`TuneSpace`."""
+    prog = parse(source)
+    current_kinds: dict[str, set] = {}
+    for unit in prog.units:
+        for s in A.walk_stmts(unit.body):
+            if isinstance(s, A.Distribute):
+                kinds = current_kinds.setdefault(s.name, set())
+                kinds.update(
+                    sp.kind for sp in s.specs if sp.kind != "none"
+                )
+    targets = set(current_kinds)
+    align = _align_map(prog)
+    site_count: dict[str, int] = {}
+    for _proc, array, _kind in base_metrics.get("comm_sites", ()):
+        t = _resolve_target(array, align, targets)
+        if t in targets:
+            site_count[t] = site_count.get(t, 0) + 1
+    hot = sorted(site_count, key=lambda t: (-site_count[t], t))
+    return TuneSpace(hot_targets=hot, current_kinds=current_kinds,
+                     nprocs0=opts.nprocs)
+
+
+def _kind_move(space: TuneSpace, target: str, kind: str,
+               param=None) -> Plan:
+    ov = DistOverride(target, ((kind, param),))
+    return Plan(space.nprocs0, (ov,), label=f"kind:{target}")
+
+
+def initial_moves(space: TuneSpace, objective: dict) -> list[Plan]:
+    """Stage-1 single-coordinate moves: the processor sweep, plus (when
+    communication matters) one kind move per hot target per kind it
+    does not already use everywhere."""
+    plans: list[Plan] = []
+    for p in NPROCS_CANDIDATES:
+        if p != space.nprocs0:
+            plans.append(Plan(p, (), label="nprocs"))
+    if objective.get("comm_share", 1.0) >= MIN_COMM_SHARE:
+        for target in space.hot_targets:
+            for kind in KIND_MOVES:
+                if space.current_kinds.get(target) == {kind}:
+                    continue
+                plans.append(_kind_move(space, target, kind))
+    return plans
+
+
+def refine_moves(space: TuneSpace, base_time: float,
+                 stage1: list[tuple[Plan, dict]]) -> list[Plan]:
+    """Stage-2 moves from stage-1 outcomes: block_cyclic k-sweeps where
+    cyclic won, evaluated at the winning processor count."""
+    best_p = _best_nprocs(space, base_time, stage1)
+    plans: list[Plan] = []
+    for target in _cyclic_winners(space, base_time, stage1):
+        for k in BLOCK_SIZES:
+            ov = DistOverride(target, (("block_cyclic", k),))
+            plans.append(Plan(best_p, (ov,), label=f"bcyc:{target}"))
+    return plans
+
+
+def combine_moves(space: TuneSpace, base_time: float,
+                  results: list[tuple[Plan, dict]]) -> list[Plan]:
+    """Stage-3 combination: the best improving override per target plus
+    the best processor count, composed — only when at least two
+    coordinates improved independently (otherwise stage 1/2 already
+    evaluated the composition)."""
+    best_p = _best_nprocs(space, base_time, results)
+    best_ov: dict[str, tuple[DistOverride, float]] = {}
+    for plan, metrics in results:
+        if len(plan.overrides) != 1 or "time_us" not in metrics:
+            continue
+        t = metrics["time_us"]
+        if t >= base_time:
+            continue
+        ov = plan.overrides[0]
+        cur = best_ov.get(ov.array)
+        if cur is None or t < cur[1]:
+            best_ov[ov.array] = (ov, t)
+    coords = len(best_ov) + (1 if best_p != space.nprocs0 else 0)
+    if coords < 2:
+        return []
+    ovs = tuple(best_ov[a][0] for a in sorted(best_ov))
+    return [Plan(best_p, ovs, label="combo")]
+
+
+def _best_nprocs(space: TuneSpace, base_time: float,
+                 results: list[tuple[Plan, dict]]) -> int:
+    best_p, best_t = space.nprocs0, base_time
+    for plan, metrics in results:
+        if plan.overrides or "time_us" not in metrics:
+            continue
+        if metrics["time_us"] < best_t:
+            best_p, best_t = plan.nprocs, metrics["time_us"]
+    return best_p
+
+
+def _cyclic_winners(space: TuneSpace, base_time: float,
+                    stage1: list[tuple[Plan, dict]]) -> list[str]:
+    winners = []
+    for plan, metrics in stage1:
+        if len(plan.overrides) != 1 or "time_us" not in metrics:
+            continue
+        ov = plan.overrides[0]
+        if ov.specs == (("cyclic", None),) \
+                and metrics["time_us"] < base_time:
+            winners.append(ov.array)
+    return sorted(set(winners))

@@ -1,0 +1,103 @@
+"""RTR-demotion coverage ratchet across the full application suite.
+
+``report.rtr_demotions`` records every procedure the driver silently
+downgraded to run-time resolution.  The paper apps compile cleanly —
+zero demotions in every mode and under every distribution kind the
+auto-tuner emits — and this file ratchets exactly those counts: any
+change that starts demoting (or stops being able to analyze) one of
+the apps fails here with the app and mode in the test id, rather than
+surfacing as a mysterious slowdown in the benchmarks.
+
+If a future change legitimately alters a count, update the table — the
+point is that the change is *loud*.
+"""
+
+import pytest
+
+from repro.apps.adi import adi_source
+from repro.apps.cg import cg_source
+from repro.apps.dgefa import dgefa_source
+from repro.apps.stencil import stencil1d_source, stencil2d_source
+from repro.apps.wave import wave_source
+from repro.core import Mode, Options, compile_program, \
+    parse_distribute_args
+
+#: app -> (source, expected rtr_demotions count) — the ratchet table
+APPS = {
+    "stencil1d": (lambda: stencil1d_source(64, 4), 0),
+    "stencil2d": (lambda: stencil2d_source(16, 2), 0),
+    "adi": (lambda: adi_source(16, 2), 0),
+    "cg": (lambda: cg_source(32, 4), 0),
+    "dgefa": (lambda: dgefa_source(16), 0),
+    "wave": (lambda: wave_source(64, 4), 0),
+}
+
+#: the demoting program from test_rtr_demotion.py, pinned here as the
+#: positive control: exactly one demotion, always
+DEMOTING_SRC = """
+program p
+real x(16), y(16)
+align y(i) with x(i)
+distribute x(block)
+do i = 1, 16
+  x(i) = i * 1.0
+  y(i) = 0.0
+enddo
+call shade(x, y)
+end
+
+subroutine shade(x, y)
+real x(16), y(16)
+do i = 2, 16
+  if (x(i - 1) > 3.0) then
+    y(i) = 1.0
+  endif
+enddo
+end
+"""
+
+
+class TestRatchetPerMode:
+    @pytest.mark.parametrize("app", sorted(APPS))
+    @pytest.mark.parametrize("mode", [Mode.INTER, Mode.INTRA, Mode.RTR])
+    def test_app_demotion_count(self, app, mode):
+        make, expected = APPS[app]
+        cp = compile_program(make(), Options(nprocs=4, mode=mode))
+        assert len(cp.report.rtr_demotions) == expected, (
+            f"{app} [{mode.value}] rtr_demotions changed: "
+            f"{cp.report.rtr_demotions}"
+        )
+
+
+class TestRatchetUnderTunerKinds:
+    """The kinds the auto-tuner emits must not trip demotions either —
+    a plan that silently demoted a procedure would be scored on RTR
+    communication and win or lose for the wrong reason."""
+
+    #: app -> override naming its primary DISTRIBUTE target
+    KIND_CASES = {
+        "stencil1d": ("x", lambda: stencil1d_source(64, 4)),
+        "cg": ("x", lambda: cg_source(32, 4)),
+        "dgefa": ("a", lambda: dgefa_source(16)),
+    }
+
+    @pytest.mark.parametrize("app", sorted(KIND_CASES))
+    @pytest.mark.parametrize(
+        "kind", ["block", "cyclic", "block_cyclic:4"]
+    )
+    def test_kind_override_keeps_zero_demotions(self, app, kind):
+        target, make = self.KIND_CASES[app]
+        opts = Options(
+            nprocs=4,
+            distribute=parse_distribute_args([f"{target}={kind}"]),
+        )
+        cp = compile_program(make(), opts)
+        assert cp.report.rtr_demotions == []
+
+
+class TestRatchetPositiveControl:
+    def test_demoting_program_counts_exactly_one(self):
+        cp = compile_program(DEMOTING_SRC,
+                             Options(nprocs=4, mode=Mode.INTER))
+        assert len(cp.report.rtr_demotions) == 1
+        assert cp.report.rtr_demotions[0].startswith("shade:")
