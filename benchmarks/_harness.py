@@ -27,6 +27,19 @@ from repro.machine import IPSC860, resolve_scheduler, resolve_topology
 REPO_ROOT = Path(__file__).resolve().parents[1]
 
 
+def bench_dir() -> Path:
+    """Where ``BENCH_*.json`` artifacts land: ``REPRO_BENCH_DIR`` when
+    set (created on demand — CI points it at a scratch directory so
+    fresh payloads never clobber the committed baselines), else the
+    repository root (unchanged default)."""
+    d = os.environ.get("REPRO_BENCH_DIR", "").strip()
+    if not d:
+        return REPO_ROOT
+    path = Path(d)
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
 def git_sha() -> str:
     """The repository HEAD commit (short), or "unknown" outside a git
     checkout / without a git binary."""
@@ -54,7 +67,8 @@ def bench_timestamp() -> str:
 
 
 def emit_bench(name: str, payload: dict) -> Path:
-    """Write *payload* to ``BENCH_<name>.json`` at the repository root.
+    """Write *payload* to ``BENCH_<name>.json`` in :func:`bench_dir`
+    (the repository root unless ``REPRO_BENCH_DIR`` redirects it).
 
     Each benchmark module calls this once with its measured quantities;
     the files are the machine-readable counterpart of the printed
@@ -70,6 +84,7 @@ def emit_bench(name: str, payload: dict) -> Path:
     """
     from repro.codegen import enabled as codegen_enabled
     from repro.interp.vectorize import enabled as vectorize_enabled
+    from repro.obs.metrics import default_registry, metrics_enabled
 
     payload.setdefault("git_sha", git_sha())
     payload.setdefault("generated_at", bench_timestamp())
@@ -78,7 +93,11 @@ def emit_bench(name: str, payload: dict) -> Path:
     payload.setdefault("host_cpus", os.cpu_count() or 1)
     payload.setdefault("vectorize", vectorize_enabled(None))
     payload.setdefault("codegen", codegen_enabled(None))
-    out = REPO_ROOT / f"BENCH_{name}.json"
+    payload.setdefault(
+        "metrics",
+        default_registry().snapshot() if metrics_enabled() else None,
+    )
+    out = bench_dir() / f"BENCH_{name}.json"
     out.write_text(
         json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n"
     )

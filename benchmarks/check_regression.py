@@ -1,0 +1,148 @@
+#!/usr/bin/env python
+"""Compare fresh ``BENCH_*.json`` payloads against committed baselines.
+
+CI runs the benchmark suite with ``REPRO_BENCH_DIR`` pointed at a
+scratch directory, then invokes this script to diff every freshly
+generated payload against the baseline of the same name committed at
+the repository root.  Wall-clock leaves (keys ending in ``_s`` /
+``_seconds`` or containing ``wall``) are compared pairwise; a fresh
+value more than ``--threshold`` (default 25%) above its baseline on a
+matching host shape is a regression and the script exits 1.
+
+Host-shape matching: a payload pair is only compared when the stamped
+``host_cpus`` / ``scheduler`` / ``topology`` / ``vectorize`` /
+``codegen`` keys agree (keys absent from either side are ignored) —
+a 2-core CI runner is not expected to reproduce an 8-core baseline.
+Sub-second noise is filtered with ``--min-seconds`` (leaves whose
+baseline is below it are skipped).  The CI step is non-blocking
+(``continue-on-error``): the signal is the log and the step outcome,
+not a hard gate, because shared runners jitter.
+
+Usage::
+
+    python benchmarks/check_regression.py \
+        --baseline-dir . --fresh-dir bench-out [--threshold 0.25]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: top-level stamps that must agree before wall-clock comparison makes
+#: sense (absent keys are ignored)
+SHAPE_KEYS = ("host_cpus", "scheduler", "topology", "vectorize",
+              "codegen")
+
+#: subtrees never compared (snapshots, provenance stamps)
+SKIP_KEYS = {"metrics", "git_sha", "generated_at"}
+
+
+def wall_leaves(payload: dict, prefix: str = "") -> dict[str, float]:
+    """Flatten *payload* to ``{dotted.path: seconds}`` for every
+    numeric leaf that looks like a host wall-clock measurement."""
+    out: dict[str, float] = {}
+    for key, value in payload.items():
+        if key in SKIP_KEYS:
+            continue
+        path = f"{prefix}.{key}" if prefix else key
+        if isinstance(value, dict):
+            out.update(wall_leaves(value, path))
+        elif isinstance(value, (int, float)) and not isinstance(
+                value, bool):
+            if key.endswith(("_s", "_seconds")) or "wall" in key:
+                out[path] = float(value)
+    return out
+
+
+def shapes_match(base: dict, fresh: dict) -> tuple[bool, str]:
+    for key in SHAPE_KEYS:
+        if key in base and key in fresh and base[key] != fresh[key]:
+            return False, (f"{key}: baseline={base[key]!r} "
+                           f"fresh={fresh[key]!r}")
+    return True, ""
+
+
+def compare_file(name: str, base: dict, fresh: dict,
+                 threshold: float, min_seconds: float) -> list[str]:
+    """Regression lines for one payload pair (empty = clean)."""
+    regressions: list[str] = []
+    base_leaves = wall_leaves(base)
+    fresh_leaves = wall_leaves(fresh)
+    for path, baseline in sorted(base_leaves.items()):
+        current = fresh_leaves.get(path)
+        if current is None or baseline < min_seconds:
+            continue
+        ratio = current / baseline
+        if ratio > 1.0 + threshold:
+            regressions.append(
+                f"  REGRESSION {name}:{path}: "
+                f"{baseline:.4f}s -> {current:.4f}s "
+                f"({(ratio - 1.0) * 100:+.1f}%)"
+            )
+    return regressions
+
+
+def main(argv: list[str] | None = None) -> int:
+    p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    p.add_argument("--baseline-dir", default=".",
+                   help="directory holding committed BENCH_*.json "
+                        "baselines (default: current directory)")
+    p.add_argument("--fresh-dir", required=True,
+                   help="directory holding freshly generated "
+                        "BENCH_*.json payloads (REPRO_BENCH_DIR)")
+    p.add_argument("--threshold", type=float, default=0.25,
+                   help="allowed fractional wall-clock growth "
+                        "(default 0.25 = +25%%)")
+    p.add_argument("--min-seconds", type=float, default=0.05,
+                   help="skip leaves whose baseline is below this "
+                        "(noise floor, default 0.05s)")
+    args = p.parse_args(argv)
+
+    baseline_dir = Path(args.baseline_dir)
+    fresh_dir = Path(args.fresh_dir)
+    fresh_files = sorted(fresh_dir.glob("BENCH_*.json"))
+    if not fresh_files:
+        print(f"check_regression: no BENCH_*.json under {fresh_dir}; "
+              f"nothing to compare")
+        return 0
+
+    compared = skipped = 0
+    all_regressions: list[str] = []
+    for fresh_path in fresh_files:
+        base_path = baseline_dir / fresh_path.name
+        if not base_path.exists():
+            print(f"  new payload (no baseline): {fresh_path.name}")
+            continue
+        try:
+            base = json.loads(base_path.read_text())
+            fresh = json.loads(fresh_path.read_text())
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"  unreadable pair {fresh_path.name}: {e}")
+            continue
+        ok, why = shapes_match(base, fresh)
+        if not ok:
+            skipped += 1
+            print(f"  skipped {fresh_path.name}: host shape differs "
+                  f"({why})")
+            continue
+        compared += 1
+        regs = compare_file(fresh_path.name, base, fresh,
+                            args.threshold, args.min_seconds)
+        if regs:
+            all_regressions.extend(regs)
+        else:
+            print(f"  ok {fresh_path.name}")
+
+    print(f"check_regression: {compared} compared, {skipped} skipped "
+          f"(shape mismatch), {len(all_regressions)} regression(s) at "
+          f">{args.threshold * 100:.0f}%")
+    for line in all_regressions:
+        print(line)
+    return 1 if all_regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

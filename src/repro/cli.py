@@ -18,6 +18,8 @@ Compile-service subcommands and client mode::
 
     fdc serve --socket /tmp/fdc.sock   # run the compile daemon
     fdc ping --server /tmp/fdc.sock    # liveness + stats probe
+    fdc metrics --server auto          # Prometheus text exposition
+    fdc metrics --json --watch         # live JSON metrics snapshots
     fdc shutdown --server auto         # stop the daemon
     fdc program.fd --server auto       # compile via the daemon,
                                        # in-process fallback if down
@@ -146,6 +148,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "path (implies --run)")
     p.add_argument("--stats-json", metavar="FILE",
                    help="with --run: write RunStats.as_dict() as JSON")
+    p.add_argument("--metrics", action="store_true", default=None,
+                   help="with --run: record simulator metrics; the "
+                        "registry snapshot lands in --stats-json under "
+                        "'metrics' (also via REPRO_METRICS)")
     p.add_argument("--codegen", dest="codegen", action="store_true",
                    default=None,
                    help="run generated node-program modules "
@@ -174,7 +180,7 @@ def _read_source(path: str) -> str:
 COSTS = {"ipsc860": IPSC860, "fast": FAST_NETWORK, "free": FREE}
 
 
-SERVICE_COMMANDS = ("serve", "ping", "shutdown")
+SERVICE_COMMANDS = ("serve", "ping", "metrics", "shutdown")
 
 
 def _service_main(cmd: str, argv: list[str]) -> int:
@@ -201,6 +207,15 @@ def _service_main(cmd: str, argv: list[str]) -> int:
                        metavar="S", help="per-request deadline ceiling")
         p.add_argument("--seed", type=int, default=0,
                        help="supervisor backoff-jitter seed")
+    if cmd == "metrics":
+        p.add_argument("--json", action="store_true",
+                       help="print the JSON metrics snapshot instead "
+                            "of the Prometheus text exposition")
+        p.add_argument("--watch", action="store_true",
+                       help="refresh continuously until interrupted")
+        p.add_argument("--interval", type=float, default=2.0,
+                       metavar="S",
+                       help="refresh period for --watch (default 2)")
     args = p.parse_args(argv)
     path = resolve_server(args.socket) or default_socket_path()
 
@@ -223,9 +238,25 @@ def _service_main(cmd: str, argv: list[str]) -> int:
         if cmd == "ping":
             rep = client.ping()
             print(f"pong from pid {rep['pid']} at {path}")
+        elif cmd == "metrics":
+            import time as _time
+
+            while True:
+                rep = client.metrics()
+                if args.json:
+                    print(json.dumps(rep["metrics"], indent=2,
+                                     sort_keys=True))
+                else:
+                    sys.stdout.write(rep["prometheus"])
+                if not args.watch:
+                    break
+                sys.stdout.flush()
+                _time.sleep(max(0.1, args.interval))
         else:
             client.shutdown()
             print(f"shutdown sent to {path}")
+        return 0
+    except KeyboardInterrupt:
         return 0
     except (OSError, TimeoutError, ServiceError) as e:
         print(f"fdc {cmd}: {e}", file=sys.stderr)
@@ -392,7 +423,8 @@ def main(argv: list[str] | None = None) -> int:
                          scheduler=args.scheduler,
                          trace=tracer,
                          topology=args.topology,
-                         codegen=args.codegen)
+                         codegen=args.codegen,
+                         metrics=args.metrics)
         except (SimulationError, ValueError) as e:
             print(f"fdc: simulation failed: {e}", file=sys.stderr)
             return 1

@@ -82,6 +82,7 @@ class CompiledProgram:
         trace=None,
         topology=None,
         codegen: Optional[bool] = None,
+        metrics=None,
     ) -> SPMDResult:
         """Execute on the simulated machine.  *timeout_s* defaults to
         ``REPRO_SIM_TIMEOUT`` (else 60 s); *faults* is an optional
@@ -94,7 +95,10 @@ class CompiledProgram:
         ``"hypercube"``, or ``REPRO_TOPOLOGY`` / uniform when None);
         *codegen* selects generated node programs vs the interpreter
         (``REPRO_CODEGEN``, default on) — with ``Options.strict`` any
-        codegen demotion becomes a hard error."""
+        codegen demotion becomes a hard error; *metrics* enables the
+        metrics registry (a :class:`~repro.obs.MetricsRegistry`,
+        ``True`` for the default registry, or ``REPRO_METRICS`` when
+        None)."""
         from ..interp.interpreter import default_init
 
         return run_spmd(
@@ -111,6 +115,7 @@ class CompiledProgram:
             topology=topology,
             codegen=codegen,
             codegen_strict=self.opts.strict,
+            metrics=metrics,
         )
 
     def text(self) -> str:

@@ -1371,6 +1371,7 @@ def run_spmd(
     topology=None,
     codegen: Optional[bool] = None,
     codegen_strict: bool = False,
+    metrics=None,
 ) -> SPMDResult:
     """Run a compiled SPMD node program on the simulated machine.
 
@@ -1388,7 +1389,9 @@ def run_spmd(
     ``REPRO_TOPOLOGY`` / uniform).  *codegen* selects the generated
     node-program path (``REPRO_CODEGEN``, default on; see
     :mod:`repro.codegen`); *codegen_strict* escalates per-procedure
-    demotions to errors.
+    demotions to errors.  *metrics* enables the metrics registry: a
+    :class:`~repro.obs.MetricsRegistry`, ``True`` for the process-wide
+    default registry, or None to defer to ``REPRO_METRICS``.
     """
     # deferred import: repro.codegen.emit imports this module
     from ..codegen import (
@@ -1396,7 +1399,8 @@ def run_spmd(
     )
 
     machine = Machine(nprocs, cost, timeout_s, faults=faults,
-                      scheduler=scheduler, trace=trace, topology=topology)
+                      scheduler=scheduler, trace=trace, topology=topology,
+                      metrics=metrics)
     prints: list[str] = []
 
     gen = None
@@ -1458,10 +1462,11 @@ def run_spmd(
         return node
 
     frames = machine.run([make_node(r) for r in range(nprocs)])
-    if machine.tracer is not None and trace is None:
+    if machine.user_tracer is not None and trace is None:
         from ..obs import trace_output_path, write_chrome_trace
 
         path = trace_output_path()
         if path:
-            write_chrome_trace(machine.tracer, path)
-    return SPMDResult(machine.stats, frames, prints, trace=machine.tracer)
+            write_chrome_trace(machine.user_tracer, path)
+    return SPMDResult(machine.stats, frames, prints,
+                      trace=machine.user_tracer)

@@ -102,10 +102,11 @@ class EventScheduler:
     """
 
     def __init__(self, nprocs: int, timeout_s: Optional[float] = None,
-                 tracer: Any = None) -> None:
+                 tracer: Any = None, metrics: Any = None) -> None:
         self.nprocs = nprocs
         self.timeout_s = resolve_timeout(timeout_s)
         self.tracer = tracer
+        self.metrics = metrics
         #: structure-of-arrays rank state
         self.clocks = np.zeros(nprocs, dtype=np.float64)
         self.states = np.full(nprocs, S_READY, dtype=np.int8)
@@ -174,6 +175,8 @@ class EventScheduler:
         self.states[rank] = S_BLOCKED_RECV
         self._detail[rank] = key
         self.clocks[rank] = clock
+        if self.metrics is not None:
+            self.metrics.block_recv.inc()
         if self.tracer is not None:
             self.tracer.rank_event(
                 rank, "sched.block", clock, why="recv",
@@ -184,6 +187,8 @@ class EventScheduler:
         self.states[rank] = S_BLOCKED_COLL
         self._detail[rank] = label
         self.clocks[rank] = clock
+        if self.metrics is not None:
+            self.metrics.block_coll.inc()
         if self.tracer is not None:
             self.tracer.rank_event(
                 rank, "sched.block", clock, why="collective", label=label,
@@ -295,12 +300,17 @@ class EventScheduler:
             if unchecked >= _CHECK_EVERY:
                 unchecked = 0
                 if time.monotonic() > deadline:
+                    # snapshot the rank states *before* teardown mutates
+                    # them: the report feeds the postmortem bundle
+                    if self.report is None:
+                        self.report = self._snapshot()
                     self._teardown(coros)
                     raise DeadlockError(
                         f"deadlock: wall-clock timeout: event loop "
                         f"still dispatching after {self.timeout_s:.1f}s "
                         f"({self.dispatches} dispatches; runaway node "
-                        f"program or REPRO_SIM_TIMEOUT too low)"
+                        f"program or REPRO_SIM_TIMEOUT too low)",
+                        self.report,
                     )
             self.dispatches += 1
             self.states[r] = S_RUNNING
@@ -353,6 +363,10 @@ class EventNetwork(CoopNetwork):
             del queues[key]
         arrive = max(now, m.available_at)
         t = arrive + self.cost.recv_cost(m.nbytes)
+        if self.metrics is not None:
+            self.metrics.recv_blocked.observe(
+                max(0.0, m.available_at - now)
+            )
         if self.tracer is not None:
             self.tracer.rank_event(
                 dst, "net.recv", now, dur=t - now, src=m.src,
@@ -411,6 +425,8 @@ class EventCollectives(CoopCollectives):
                     ) -> Generator[None, None, tuple[Any, float]]:
         complete = self._begin_bcast(rank, root, payload, nbytes, consume)
         yield from self._rendezvous_y(rank, "bcast", now, complete)
+        if self.metrics is not None:
+            self._observe_coll(now)
         t = self._maxclock + self.topo.collective_cost(
             self.cost, self.nprocs, nbytes
         )
@@ -423,6 +439,8 @@ class EventCollectives(CoopCollectives):
                     ) -> Generator[None, None, tuple[Any, float]]:
         complete = self._begin_reduce(rank, value, op, nbytes)
         yield from self._rendezvous_y(rank, "reduce", now, complete)
+        if self.metrics is not None:
+            self._observe_coll(now)
         t = self._maxclock + 2 * self.topo.collective_cost(
             self.cost, self.nprocs, nbytes
         )
@@ -434,6 +452,8 @@ class EventCollectives(CoopCollectives):
                   origin: Optional[str] = None
                   ) -> Generator[None, None, float]:
         yield from self._rendezvous_y(rank, "barrier", now, lambda: None)
+        if self.metrics is not None:
+            self._observe_coll(now)
         t = self._maxclock + self.topo.barrier_cost(self.cost, self.nprocs)
         if self.tracer is not None:
             self._trace_coll(rank, "barrier", now, t, 0, origin)
@@ -445,6 +465,8 @@ class EventCollectives(CoopCollectives):
                    ) -> Generator[None, None, tuple[dict[int, Any], float]]:
         complete = self._begin_exchange(rank, outgoing, nbytes_out)
         yield from self._rendezvous_y(rank, "exchange", now, complete)
+        if self.metrics is not None:
+            self._observe_coll(now)
         incoming = self._incoming_of(rank)
         t = self._maxclock + self.topo.collective_cost(
             self.cost, self.nprocs, max(nbytes_out, 1)

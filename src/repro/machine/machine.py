@@ -46,6 +46,12 @@ from .scheduler import (
 from .stats import RunStats
 from .topology import Topology, resolve_topology
 from ..obs import resolve_trace
+from ..obs.flightrec import (
+    FlightRecorder,
+    dump_postmortem,
+    flightrec_capacity,
+)
+from ..obs.metrics import SimMetrics, resolve_metrics
 
 
 class ProcContext:
@@ -256,6 +262,7 @@ class Machine:
         scheduler: Optional[str] = None,
         trace: Any = None,
         topology: Any = None,
+        metrics: Any = None,
     ) -> None:
         if nprocs < 1:
             raise ValueError("need at least one processor")
@@ -273,7 +280,26 @@ class Machine:
             )
         self.stats = RunStats(nprocs=nprocs, scheduler=self.scheduler,
                               topology=self.topology.describe())
-        self.tracer = resolve_trace(trace)
+        #: the tracer the caller asked for (None for untraced runs —
+        #: SPMDResult.trace mirrors this, never the flight recorder)
+        self.user_tracer = resolve_trace(trace)
+        self.tracer = self.user_tracer
+        self.flightrec: Optional[FlightRecorder] = None
+        if self.tracer is None and trace is not False:
+            # always-on flight recorder: a bounded ring of recent
+            # events per rank, so a run that dies leaves a postmortem
+            # even though nobody requested a trace (REPRO_FLIGHTREC=0
+            # disables, a number resizes the rings)
+            cap = flightrec_capacity()
+            if cap > 0:
+                self.flightrec = FlightRecorder(nprocs, capacity=cap)
+                self.tracer = self.flightrec
+        self.metrics = resolve_metrics(metrics)
+        self.sim_metrics: Optional[SimMetrics] = (
+            None if self.metrics is None
+            else SimMetrics(self.metrics, backend=self.scheduler,
+                            topology=self.topology.describe())
+        )
         if self.tracer is not None:
             self.tracer.ensure_ranks(nprocs)
             self.tracer.meta.update(
@@ -286,15 +312,17 @@ class Machine:
         if self.scheduler == "coop":
             self.detector = None
             self._sched = CoopScheduler(nprocs, timeout_s,
-                                        tracer=self.tracer)
+                                        tracer=self.tracer,
+                                        metrics=self.sim_metrics)
             self.network = CoopNetwork(
                 nprocs, cost, self.stats, timeout_s,
                 faults=self.faults, scheduler=self._sched,
                 tracer=self.tracer, topology=self.topology,
+                metrics=self.sim_metrics,
             )
             self.collectives = CoopCollectives(
                 nprocs, cost, self.stats, self._sched, tracer=self.tracer,
-                topology=self.topology,
+                topology=self.topology, metrics=self.sim_metrics,
             )
             self._sched.network = self.network
         elif self.scheduler == "event":
@@ -306,15 +334,17 @@ class Machine:
 
             self.detector = None
             self._sched = EventScheduler(nprocs, timeout_s,
-                                         tracer=self.tracer)
+                                         tracer=self.tracer,
+                                         metrics=self.sim_metrics)
             self.network = EventNetwork(
                 nprocs, cost, self.stats, timeout_s,
                 faults=self.faults, scheduler=self._sched,
                 tracer=self.tracer, topology=self.topology,
+                metrics=self.sim_metrics,
             )
             self.collectives = EventCollectives(
                 nprocs, cost, self.stats, self._sched, tracer=self.tracer,
-                topology=self.topology,
+                topology=self.topology, metrics=self.sim_metrics,
             )
             self._sched.network = self.network
         else:
@@ -324,11 +354,13 @@ class Machine:
                 nprocs, cost, self.stats, timeout_s,
                 faults=self.faults, detector=self.detector,
                 tracer=self.tracer, topology=self.topology,
+                metrics=self.sim_metrics,
             )
             self.collectives = CollectiveContext(
                 nprocs, cost, self.stats, timeout_s,
                 detector=self.detector, network=self.network,
                 tracer=self.tracer, topology=self.topology,
+                metrics=self.sim_metrics,
             )
             self.detector.attach(self.network, self._declare_failure)
 
@@ -356,8 +388,12 @@ class Machine:
         error exists).
         """
         t0 = time.perf_counter()
+        failure: Optional[BaseException] = None
         try:
             return self._run(node_program)
+        except SimulationError as e:
+            failure = e
+            raise
         finally:
             sched = self._sched
             self.stats.record_run(
@@ -365,6 +401,27 @@ class Machine:
                 dispatches=sched.dispatches if sched else self.nprocs,
                 switches=sched.switches if sched else 0,
             )
+            if self.sim_metrics is not None:
+                self.sim_metrics.record_run(self.stats,
+                                            failed=failure is not None)
+                self.stats.record_metrics(self.metrics.snapshot())
+            if failure is not None:
+                # postmortem bundle (REPRO_POSTMORTEM_DIR; best-effort,
+                # never masks the error being raised)
+                dump_postmortem(
+                    "simulation-error",
+                    error=failure,
+                    report=getattr(failure, "report", None)
+                    or self.deadlock_report,
+                    stats=self.stats,
+                    recorder=self.tracer,
+                    metrics=self.metrics,
+                    extra={
+                        "nprocs": self.nprocs,
+                        "scheduler": self.scheduler,
+                        "topology": self.topology.describe(),
+                    },
+                )
 
     def _run(self, node_program: Callable[[ProcContext], Any]) -> list[Any]:
         if self.scheduler == "event":

@@ -142,6 +142,7 @@ class Network:
         detector: Optional[DeadlockDetector] = None,
         tracer: Any = None,
         topology: Optional[Topology] = None,
+        metrics: Any = None,
     ) -> None:
         self.nprocs = nprocs
         self.cost = cost
@@ -150,6 +151,7 @@ class Network:
         self.faults = faults
         self.detector = detector
         self.tracer = tracer
+        self.metrics = metrics
         self.topo = topology if topology is not None \
             else UniformTopology(nprocs)
         self._links = LinkClock() if self.topo.contention else None
@@ -268,6 +270,10 @@ class Network:
                         del queues[key]
                     arrive = max(now, m.available_at)
                     t = arrive + self.cost.recv_cost(m.nbytes)
+                    if self.metrics is not None:
+                        self.metrics.recv_blocked.observe(
+                            max(0.0, m.available_at - now)
+                        )
                     if self.tracer is not None:
                         self.tracer.rank_event(
                             dst, "net.recv", now, dur=t - now, src=m.src,
@@ -285,6 +291,8 @@ class Network:
             # This raises DeadlockError right here when this rank's
             # transition completes a deadlock.
             try:
+                if self.metrics is not None:
+                    self.metrics.block_recv.inc()
                 if self.detector is not None:
                     self.detector.block_recv(dst, key, now)
                 remaining = deadline - time.monotonic()
@@ -357,7 +365,8 @@ class CollectiveContext:
                  detector: Optional[DeadlockDetector] = None,
                  network: Optional[Network] = None,
                  tracer: Any = None,
-                 topology: Optional[Topology] = None) -> None:
+                 topology: Optional[Topology] = None,
+                 metrics: Any = None) -> None:
         self.nprocs = nprocs
         self.cost = cost
         self.stats = stats
@@ -365,6 +374,7 @@ class CollectiveContext:
         self.detector = detector
         self.network = network
         self.tracer = tracer
+        self.metrics = metrics
         self.topo = topology if topology is not None \
             else UniformTopology(nprocs)
         self._barrier = threading.Barrier(nprocs, action=self._trip)
@@ -426,10 +436,17 @@ class CollectiveContext:
             f"(a peer failed or deadlocked)"
         )
 
+    def _observe_coll(self, now: float) -> None:
+        """Record this participant's rendezvous wait (virtual time spent
+        blocked until the straggler arrived)."""
+        self.metrics.coll_blocked.observe(max(0.0, self._maxclock - now))
+
     def _sync(self, rank: int, label: str) -> None:
         if self.network is not None and self.network.failing():
             raise self._failure_error(rank, label)
         try:
+            if self.metrics is not None:
+                self.metrics.block_coll.inc()
             if self.detector is not None:
                 self.detector.block_collective(
                     rank, label, self._clocks[rank]
@@ -464,6 +481,8 @@ class CollectiveContext:
                 slot["consume"].append(consume)
         self._complete = self._finish_bcast
         self._sync(rank, "bcast")
+        if self.metrics is not None:
+            self._observe_coll(now)
         t = self._maxclock + self.topo.collective_cost(
             self.cost, self.nprocs, nbytes
         )
@@ -497,6 +516,8 @@ class CollectiveContext:
             slot["values"][rank] = value
         self._complete = self._finish_reduce
         self._sync(rank, "reduce")
+        if self.metrics is not None:
+            self._observe_coll(now)
         t = self._maxclock + 2 * self.topo.collective_cost(
             self.cost, self.nprocs, nbytes
         )
@@ -516,6 +537,8 @@ class CollectiveContext:
                 origin: Optional[str] = None) -> float:
         self._clocks[rank] = now
         self._sync(rank, "barrier")
+        if self.metrics is not None:
+            self._observe_coll(now)
         t = self._maxclock + self.topo.barrier_cost(self.cost, self.nprocs)
         if self.tracer is not None:
             self._trace_coll(rank, "barrier", now, t, 0, origin)
@@ -537,6 +560,8 @@ class CollectiveContext:
                 (outgoing, nbytes_out)
         self._complete = self._finish_exchange
         self._sync(rank, "exchange")
+        if self.metrics is not None:
+            self._observe_coll(now)
         table = self._result
         incoming = {
             src: msgs[rank]

@@ -104,10 +104,11 @@ class CoopScheduler:
     """
 
     def __init__(self, nprocs: int, timeout_s: Optional[float] = None,
-                 tracer: Any = None) -> None:
+                 tracer: Any = None, metrics: Any = None) -> None:
         self.nprocs = nprocs
         self.timeout_s = resolve_timeout(timeout_s)
         self.tracer = tracer
+        self.metrics = metrics
         self._state = [READY] * nprocs
         self._detail: list[object] = [None] * nprocs
         self._clock = [0.0] * nprocs
@@ -209,6 +210,8 @@ class CoopScheduler:
         self._state[rank] = BLOCKED_RECV
         self._detail[rank] = key
         self._clock[rank] = clock
+        if self.metrics is not None:
+            self.metrics.block_recv.inc()
         if self.tracer is not None:
             self.tracer.rank_event(
                 rank, "sched.block", clock, why="recv",
@@ -230,6 +233,8 @@ class CoopScheduler:
         self._state[rank] = BLOCKED_COLLECTIVE
         self._detail[rank] = label
         self._clock[rank] = clock
+        if self.metrics is not None:
+            self.metrics.block_coll.inc()
         if self.tracer is not None:
             self.tracer.rank_event(
                 rank, "sched.block", clock, why="collective", label=label,
@@ -334,6 +339,7 @@ class CoopNetwork:
         scheduler: Optional[CoopScheduler] = None,
         tracer: Any = None,
         topology: Optional[Topology] = None,
+        metrics: Any = None,
     ) -> None:
         self.nprocs = nprocs
         self.cost = cost
@@ -342,6 +348,7 @@ class CoopNetwork:
         self.faults = faults
         self.sched = scheduler
         self.tracer = tracer
+        self.metrics = metrics
         self.topo = topology if topology is not None \
             else UniformTopology(nprocs)
         self._links = LinkClock() if self.topo.contention else None
@@ -426,6 +433,9 @@ class CoopNetwork:
                     del queues[key]
                 arrive = max(now, m.available_at)
                 t = arrive + self.cost.recv_cost(m.nbytes)
+                if self.metrics is not None:
+                    self.metrics.recv_blocked.observe(
+                        max(0.0, m.available_at - now))
                 if self.tracer is not None:
                     self.tracer.rank_event(
                         dst, "net.recv", now, dur=t - now, src=m.src,
@@ -474,12 +484,14 @@ class CoopCollectives:
 
     def __init__(self, nprocs: int, cost: CostModel, stats: RunStats,
                  scheduler: CoopScheduler, tracer: Any = None,
-                 topology: Optional[Topology] = None) -> None:
+                 topology: Optional[Topology] = None,
+                 metrics: Any = None) -> None:
         self.nprocs = nprocs
         self.cost = cost
         self.stats = stats
         self.sched = scheduler
         self.tracer = tracer
+        self.metrics = metrics
         self.topo = topology if topology is not None \
             else UniformTopology(nprocs)
         self._slots: dict[str, Any] = {}
@@ -514,6 +526,11 @@ class CoopCollectives:
             self.sched.release_collective()
         else:
             self.sched.block_collective(rank, label, now)
+
+    def _observe_coll(self, now: float) -> None:
+        """Metrics: virtual µs this participant waited for the
+        rendezvous to complete (call after ``_rendezvous`` returns)."""
+        self.metrics.coll_blocked.observe(max(0.0, self._maxclock - now))
 
     def _trace_coll(self, rank: int, label: str, now: float, t: float,
                     nbytes: int = 0, origin: Optional[str] = None) -> None:
@@ -593,6 +610,8 @@ class CoopCollectives:
         """
         complete = self._begin_bcast(rank, root, payload, nbytes, consume)
         self._rendezvous(rank, "bcast", now, complete)
+        if self.metrics is not None:
+            self._observe_coll(now)
         t = self._maxclock + self.topo.collective_cost(
             self.cost, self.nprocs, nbytes
         )
@@ -606,6 +625,8 @@ class CoopCollectives:
         """Combining all-reduce, rank-ordered for determinism."""
         complete = self._begin_reduce(rank, value, op, nbytes)
         self._rendezvous(rank, "reduce", now, complete)
+        if self.metrics is not None:
+            self._observe_coll(now)
         t = self._maxclock + 2 * self.topo.collective_cost(
             self.cost, self.nprocs, nbytes
         )
@@ -616,6 +637,8 @@ class CoopCollectives:
     def barrier(self, rank: int, now: float,
                 origin: Optional[str] = None) -> float:
         self._rendezvous(rank, "barrier", now, lambda: None)
+        if self.metrics is not None:
+            self._observe_coll(now)
         t = self._maxclock + self.topo.barrier_cost(self.cost, self.nprocs)
         if self.tracer is not None:
             self._trace_coll(rank, "barrier", now, t, 0, origin)
@@ -627,6 +650,8 @@ class CoopCollectives:
         """All-to-all personalized exchange (the remap runtime)."""
         complete = self._begin_exchange(rank, outgoing, nbytes_out)
         self._rendezvous(rank, "exchange", now, complete)
+        if self.metrics is not None:
+            self._observe_coll(now)
         incoming = self._incoming_of(rank)
         t = self._maxclock + self.topo.collective_cost(
             self.cost, self.nprocs, max(nbytes_out, 1)

@@ -51,6 +51,11 @@ class RunStats:
     codegen_cache_hits: int = 0
     codegen_cache_misses: int = 0
     codegen_demotions: int = 0
+    #: metrics-registry snapshot stamped by the machine at end of run
+    #: (None unless metrics were enabled — REPRO_METRICS / metrics=);
+    #: the same schema the daemon's ``metrics`` op and the benchmark
+    #: payloads carry
+    metrics: dict | None = None
 
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
@@ -124,6 +129,12 @@ class RunStats:
         with self._lock:
             self.comm_cache_hits += hits
             self.comm_cache_misses += misses
+
+    def record_metrics(self, snapshot: dict | None) -> None:
+        """Attach the run's metrics snapshot (taken by the machine
+        after the final bulk fold, so it reflects this run)."""
+        with self._lock:
+            self.metrics = snapshot
 
     def record_codegen(self, hits: int, misses: int,
                        demotions: int) -> None:
@@ -216,6 +227,7 @@ class RunStats:
                 "codegen_demotions": self.codegen_demotions,
                 "compile_cache_hits": cc["hits"],
                 "compile_cache_misses": cc["misses"],
+                "metrics": self.metrics,
                 "time_us": time_us,
                 "time_ms": time_us / 1000.0,
                 "load_imbalance": imbalance,

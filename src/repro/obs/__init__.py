@@ -21,10 +21,32 @@ visible for any compiled program:
   (procedure, statement), the rank x rank traffic matrix, and the
   virtual-time critical path — the chain of blocking dependencies from
   t=0 to the final clock.
+* :class:`MetricsRegistry` (:mod:`.metrics`) — labeled counters,
+  gauges, and bucketed latency histograms with p50/p90/p99 extraction;
+  the production-telemetry substrate of the compile daemon
+  (``fdc metrics``) and, under ``REPRO_METRICS``, the simulator.
+* :class:`FlightRecorder` (:mod:`.flightrec`) — an always-on bounded
+  ring of recent trace events per rank, dumped via
+  :func:`dump_postmortem` into ``REPRO_POSTMORTEM_DIR`` when a run or
+  a service worker dies.
 """
 
 from .tracer import Tracer, resolve_trace, trace_output_path
 from .chrome import chrome_trace, write_chrome_trace
+from .flightrec import (
+    FlightRecorder,
+    dump_postmortem,
+    flightrec_capacity,
+    postmortem_dir,
+)
+from .metrics import (
+    MetricsRegistry,
+    SimMetrics,
+    default_registry,
+    metrics_enabled,
+    mirror_counters,
+    resolve_metrics,
+)
 from .profile import (
     comm_hotspots,
     comm_matrix,
@@ -41,6 +63,16 @@ __all__ = [
     "trace_output_path",
     "chrome_trace",
     "write_chrome_trace",
+    "FlightRecorder",
+    "dump_postmortem",
+    "flightrec_capacity",
+    "postmortem_dir",
+    "MetricsRegistry",
+    "SimMetrics",
+    "default_registry",
+    "metrics_enabled",
+    "mirror_counters",
+    "resolve_metrics",
     "comm_hotspots",
     "comm_matrix",
     "critical_path",

@@ -84,10 +84,14 @@ def chrome_trace(tracer: Tracer) -> dict[str, Any]:
                 rec["s"] = "t"
             out.append(rec)
 
+    meta = dict(tracer.meta)
+    dropped = getattr(tracer, "dropped_events", 0)
+    if dropped:
+        meta["dropped_events"] = dropped
     return {
         "traceEvents": out,
         "displayTimeUnit": "ms",
-        "otherData": dict(tracer.meta),
+        "otherData": meta,
     }
 
 

@@ -52,6 +52,20 @@ trace=...)`` accept a Tracer (or ``True`` for a fresh one); the
 ``REPRO_TRACE`` environment variable turns tracing on globally —
 ``REPRO_TRACE=1`` collects in memory, any other value is a path the
 run's Chrome trace JSON is written to.
+
+Sampling
+--------
+
+Full-fidelity traces become unusable (and memory-hungry) at
+event-backend scale: P=4096 ranks each produce thousands of events.
+``REPRO_TRACE_SAMPLE=<ranks>[:<events-per-rank>]`` bounds the trace:
+only ``<ranks>`` evenly-spaced ranks record events (rank 0 and the
+last rank always included), and each sampled rank keeps at most
+``<events-per-rank>`` events (0 or omitted = unbounded).  Sampling
+drops *whole* events, so each surviving per-rank stream is an ordered
+subsequence of the unsampled stream — per-rank clock monotonicity is
+preserved (``tests/test_trace_sampling.py`` enforces it).  The drop
+count is tracked in :attr:`Tracer.dropped_events`.
 """
 
 from __future__ import annotations
@@ -73,6 +87,26 @@ def trace_output_path() -> Optional[str]:
                                "off", "on"):
         return v
     return None
+
+
+def _parse_sample(spec: str) -> tuple[Optional[int], Optional[int]]:
+    """``"<ranks>[:<events-per-rank>]"`` -> (rank limit, event budget);
+    0/empty/garbage components mean "no limit" for that component."""
+    ranks: Optional[int] = None
+    budget: Optional[int] = None
+    head, _, tail = spec.partition(":")
+    try:
+        n = int(head)
+        ranks = n if n > 0 else None
+    except ValueError:
+        pass
+    if tail:
+        try:
+            n = int(tail)
+            budget = n if n > 0 else None
+        except ValueError:
+            pass
+    return ranks, budget
 
 
 def resolve_trace(trace: Any = None) -> Optional["Tracer"]:
@@ -112,12 +146,25 @@ class _PhaseSpan:
 class Tracer:
     """Collects host-time compiler events and virtual-time rank events."""
 
-    def __init__(self, nprocs: int = 0) -> None:
+    def __init__(self, nprocs: int = 0, sample: Any = None) -> None:
         self.host_events: list[dict] = []
         self.rank_events: list[list[dict]] = [[] for _ in range(nprocs)]
         self.meta: dict[str, Any] = {}
         self._depth = 0
         self.epoch = time.perf_counter()
+        # -- sampling (see module docstring): *sample* is a spec
+        # string, False to force full fidelity, or None to defer to
+        # REPRO_TRACE_SAMPLE
+        if sample is None:
+            sample = os.environ.get("REPRO_TRACE_SAMPLE", "").strip()
+        self.sample_ranks: Optional[int] = None
+        self._budget: Optional[int] = None
+        if sample:
+            self.sample_ranks, self._budget = _parse_sample(sample)
+            self.meta["trace_sample"] = sample
+        #: ranks allowed to record (None = all ranks)
+        self._sampled: Optional[set[int]] = None
+        self.dropped_events = 0
 
     # -- machine attachment -------------------------------------------------
 
@@ -126,6 +173,16 @@ class Tracer:
         tracer may be created before the machine exists)."""
         while len(self.rank_events) < nprocs:
             self.rank_events.append([])
+        n = self.sample_ranks
+        P = len(self.rank_events)
+        if n is not None and P > n:
+            # evenly-spaced deterministic rank subset, endpoints kept
+            if n == 1:
+                self._sampled = {0}
+            else:
+                self._sampled = {
+                    round(i * (P - 1) / (n - 1)) for i in range(n)
+                }
 
     @property
     def nprocs(self) -> int:
@@ -166,13 +223,21 @@ class Tracer:
 
     def rank_event(self, rank: int, kind: str, ts: float,
                    dur: float = 0.0, **fields: Any) -> None:
-        """Record one virtual-time event on *rank*'s track."""
+        """Record one virtual-time event on *rank*'s track (dropped
+        whole when the sampling policy excludes it)."""
+        if self._sampled is not None and rank not in self._sampled:
+            self.dropped_events += 1
+            return
+        evs = self.rank_events[rank]
+        if self._budget is not None and len(evs) >= self._budget:
+            self.dropped_events += 1
+            return
         ev = {"kind": kind, "rank": rank, "ts": ts}
         if dur:
             ev["dur"] = dur
         if fields:
             ev.update(fields)
-        self.rank_events[rank].append(ev)
+        evs.append(ev)
 
     # -- summaries ----------------------------------------------------------
 

@@ -117,6 +117,13 @@ class CompileClient:
         return self.request({"op": "stats"},
                             timeout_s=timeout_s)["stats"]
 
+    def metrics(self, timeout_s: float = 5.0) -> dict:
+        """The daemon's metrics: ``{"metrics": snapshot,
+        "prometheus": text}``."""
+        reply = self.request({"op": "metrics"}, timeout_s=timeout_s)
+        return {"metrics": reply.get("metrics", {}),
+                "prometheus": reply.get("prometheus", "")}
+
     def shutdown(self, timeout_s: float = 5.0) -> dict:
         return self.request({"op": "shutdown"}, timeout_s=timeout_s)
 

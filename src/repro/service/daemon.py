@@ -18,6 +18,12 @@ and worker pool (cooperative cancellation).
 Every phase is traced when a tracer is supplied (``service.request``
 spans, ``service.overloaded``/``service.shed`` decisions), and
 ``stats`` exposes request counters plus store/pool stats.
+
+The daemon also owns an always-on :class:`~repro.obs.MetricsRegistry`:
+per-request latency histograms and outcome counters, a live queue-depth
+gauge, queue-wait times, and mirrors of the pool / store / compile-cache
+counters.  The ``metrics`` control op serves a snapshot plus the
+Prometheus text exposition (``fdc metrics``).
 """
 
 from __future__ import annotations
@@ -29,6 +35,7 @@ import time
 from collections import deque
 from typing import Optional
 
+from ..obs.metrics import MetricsRegistry, mirror_counters
 from .compiler import ServiceCompiler
 from .pool import WorkerPool
 from .protocol import (
@@ -68,15 +75,35 @@ class CompileDaemon:
         self.request_read_timeout_s = request_read_timeout_s
         self.queue_limit = queue_limit
         self.handlers = max(1, handlers)
+        self.metrics = MetricsRegistry()
+        self._m_requests = self.metrics.counter(
+            "fdc_requests_total", "service requests by op and outcome",
+            labels=("op", "outcome"),
+        )
+        self._m_latency = self.metrics.histogram(
+            "fdc_request_latency_seconds",
+            "compile-request handling latency by outcome",
+            labels=("outcome",),
+        )
+        self._m_queue_wait = self.metrics.histogram(
+            "fdc_queue_wait_seconds",
+            "time compile requests spent queued",
+        ).labels()
+        self._m_queue_depth = self.metrics.gauge(
+            "fdc_queue_depth", "compile requests currently queued",
+        ).labels()
         self.store = SummaryStore(store_dir)
         if pool is not None:
             self.pool = pool
         elif pool_size > 0:
             self.pool = WorkerPool(size=pool_size, seed=seed,
                                    crash_flag=crash_flag,
-                                   hang_flag=hang_flag, tracer=tracer)
+                                   hang_flag=hang_flag, tracer=tracer,
+                                   metrics=self.metrics)
         else:
             self.pool = None
+        if self.pool is not None and self.pool.metrics is None:
+            self.pool.metrics = self.metrics
         self.compiler = ServiceCompiler(store=self.store, pool=self.pool,
                                         tracer=tracer)
         self.counters = {
@@ -174,6 +201,7 @@ class CompileDaemon:
             # slow-loris / garbage client: drop the connection
             with self._cv:
                 self.counters["bad"] += 1
+            self._m_requests.inc(1.0, op="?", outcome="bad")
             try:
                 conn.close()
             except OSError:
@@ -183,26 +211,40 @@ class CompileDaemon:
         with self._cv:
             self.counters["requests"] += 1
         if req.get("v") != PROTOCOL_VERSION:
+            self._m_requests.inc(1.0, op=str(op), outcome="bad")
             self._reply_close(conn, error_reply(
                 "bad-request",
                 f"protocol version {req.get('v')!r} != "
                 f"{PROTOCOL_VERSION}", retryable=False))
             return
         if op == "ping":
+            self._m_requests.inc(1.0, op="ping", outcome="ok")
             self._reply_close(conn, {"ok": True, "pong": True,
                                      "pid": os.getpid(),
                                      "v": PROTOCOL_VERSION})
             return
         if op == "stats":
+            self._m_requests.inc(1.0, op="stats", outcome="ok")
             self._reply_close(conn, {"ok": True, "v": PROTOCOL_VERSION,
                                      "stats": self.stats()})
             return
+        if op == "metrics":
+            self._m_requests.inc(1.0, op="metrics", outcome="ok")
+            self._sync_metrics()
+            self._reply_close(conn, {
+                "ok": True, "v": PROTOCOL_VERSION,
+                "metrics": self.metrics.snapshot(),
+                "prometheus": self.metrics.prometheus(),
+            })
+            return
         if op == "shutdown":
+            self._m_requests.inc(1.0, op="shutdown", outcome="ok")
             self._reply_close(conn, {"ok": True, "stopping": True,
                                      "v": PROTOCOL_VERSION})
             self.stop()
             return
         if op != "compile":
+            self._m_requests.inc(1.0, op=str(op), outcome="bad")
             self._reply_close(conn, error_reply(
                 "bad-request", f"unknown op {op!r}", retryable=False))
             return
@@ -245,20 +287,24 @@ class CompileDaemon:
                 self.counters["overloaded"] += 1
             if shed_entry is not None:
                 self.counters["shed"] += 1
+        self._m_queue_depth.set(qlen)
         retry_after = round(0.1 * (qlen + 1), 3)
         if shed_entry is not None:
+            self._m_requests.inc(1.0, op="compile", outcome="shed")
             if self.tracer is not None:
                 self.tracer.decision("service.shed")
             self._reply_close(shed_entry[0], error_reply(
                 "overloaded", "shed for a non-speculative request",
                 retryable=True, retry_after_s=retry_after))
         if refused == "overloaded":
+            self._m_requests.inc(1.0, op="compile", outcome="overloaded")
             if self.tracer is not None:
                 self.tracer.decision("service.overloaded")
             self._reply_close(conn, error_reply(
                 "overloaded", "compile queue full", retryable=True,
                 retry_after_s=retry_after))
         elif refused == "shutdown":
+            self._m_requests.inc(1.0, op="compile", outcome="shutdown")
             self._reply_close(conn, error_reply(
                 "shutdown", "daemon stopping", retryable=True))
 
@@ -273,15 +319,26 @@ class CompileDaemon:
                     return
                 if not self._queue:
                     continue
-                conn, req, _enq, deadline = self._queue.popleft()
-            if time.monotonic() > deadline:
+                conn, req, enq, deadline = self._queue.popleft()
+                qlen = len(self._queue)
+            self._m_queue_depth.set(qlen)
+            start = time.monotonic()
+            self._m_queue_wait.observe(max(0.0, start - enq))
+            if start > deadline:
                 with self._cv:
                     self.counters["expired"] += 1
+                self._m_requests.inc(1.0, op="compile",
+                                     outcome="expired")
                 self._reply_close(conn, error_reply(
                     "deadline", "request expired while queued",
                     retryable=True))
                 continue
-            self._reply_close(conn, self._compile(req, deadline))
+            reply = self._compile(req, deadline)
+            outcome = "ok" if reply.get("ok") else "error"
+            self._m_latency.observe(time.monotonic() - start,
+                                    outcome=outcome)
+            self._m_requests.inc(1.0, op="compile", outcome=outcome)
+            self._reply_close(conn, reply)
 
     def _compile(self, req: dict, deadline: float) -> dict:
         def span():
@@ -334,6 +391,30 @@ class CompileDaemon:
         if self.pool is not None:
             out["pool"] = self.pool.stats()
         return out
+
+    def _sync_metrics(self) -> None:
+        """Refresh the mirrored counter families (pool / store /
+        compile-cache / intake counters) and the queue-depth gauge so a
+        ``metrics`` reply reflects the daemon's current state."""
+        from ..core.driver import compile_cache_stats
+
+        with self._cv:
+            counters = dict(self.counters)
+            qlen = len(self._queue)
+        self._m_queue_depth.set(qlen)
+        mirror_counters(self.metrics, "fdc_daemon_events_total",
+                        counters,
+                        help="daemon request-intake counters")
+        mirror_counters(self.metrics, "fdc_store_events_total",
+                        self.store.stats(),
+                        help="summary-store activity")
+        if self.pool is not None:
+            mirror_counters(self.metrics, "fdc_pool_events_total",
+                            self.pool.stats(),
+                            help="worker-pool supervision counters")
+        mirror_counters(self.metrics, "fdc_compile_cache_events_total",
+                        compile_cache_stats(),
+                        help="in-process compile memo activity")
 
     def _reply_close(self, conn: socket.socket, obj: dict) -> None:
         try:

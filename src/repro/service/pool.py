@@ -136,7 +136,7 @@ class WorkerPool:
                  seed: int = 0, job_timeout_s: float = 60.0,
                  crash_flag: Optional[str] = None,
                  hang_flag: Optional[str] = None,
-                 tracer=None) -> None:
+                 tracer=None, metrics=None) -> None:
         self.size = max(1, size)
         self.max_retries = max_retries
         self.backoff_base = backoff_base
@@ -145,6 +145,8 @@ class WorkerPool:
         self.crash_flag = crash_flag
         self.hang_flag = hang_flag
         self.tracer = tracer
+        #: optional MetricsRegistry (the daemon attaches its own)
+        self.metrics = metrics
         self._rng = random.Random(seed)
         self._lock = threading.Lock()
         self._idle: list[_Worker] = []
@@ -311,6 +313,8 @@ class WorkerPool:
         )
 
     def _acquire(self) -> _Worker:
+        dead = []
+        got = None
         with self._lock:
             if self._closed:
                 raise ServiceError("shutdown", "pool is closed",
@@ -318,13 +322,20 @@ class WorkerPool:
             while self._idle:
                 w = self._idle.pop()
                 if w.alive():
-                    return w
+                    got = w
+                    break
                 # died while idle
                 self._live -= 1
                 self.counters["crashes"] += 1
                 self._consec_failures += 1
+                dead.append((w, self._consec_failures,
+                             dict(self.counters)))
                 w.kill()
-            backoff = self._backoff_locked()
+            backoff = 0.0 if got is not None else self._backoff_locked()
+        for w, consec, counters in dead:
+            self._record_restart(w, "crashes", consec, counters)
+        if got is not None:
+            return got
         if backoff > 0:
             with self._lock:
                 self.counters["backoff_waits"] += 1
@@ -352,14 +363,45 @@ class WorkerPool:
             w.kill()
 
     def _discard(self, w: _Worker, kind: str) -> None:
-        """A worker failed mid-job: kill it and record the failure."""
+        """A worker failed mid-job: kill it, record the failure, and
+        leave a postmortem bundle (when ``REPRO_POSTMORTEM_DIR`` is
+        configured) so the dead worker's cause survives the restart."""
         w.kill()
         with self._lock:
             self._live -= 1
             self.counters[kind] += 1
             self._consec_failures += 1
+            consec = self._consec_failures
+            counters = dict(self.counters)
+        self._record_restart(w, kind, consec, counters)
+
+    def _record_restart(self, w: _Worker, kind: str, consec: int,
+                        counters: dict) -> None:
+        """Record one worker replacement — metric, trace decision, and
+        postmortem bundle — regardless of whether the death was noticed
+        mid-job (:meth:`_discard`) or while idle (:meth:`_acquire`)."""
+        if self.metrics is not None:
+            self.metrics.counter(
+                "fdc_worker_restarts_total",
+                "workers killed and replaced by cause",
+                labels=("cause",),
+            ).inc(1.0, cause=kind)
         if self.tracer is not None:
             self.tracer.decision("service.worker-restart", cause=kind)
+        from ..obs.flightrec import dump_postmortem
+
+        dump_postmortem(
+            "worker-crash",
+            recorder=self.tracer,
+            metrics=self.metrics,
+            extra={
+                "cause": kind,
+                "worker_pid": w.proc.pid,
+                "jobs_done": w.jobs_done,
+                "consec_failures": consec,
+                "counters": counters,
+            },
+        )
 
     def _backoff_locked(self) -> float:
         """Exponential backoff with deterministic jitter before

@@ -57,7 +57,9 @@ class TestResolve:
     def test_off_by_default(self, monkeypatch):
         monkeypatch.delenv("REPRO_TRACE", raising=False)
         assert resolve_trace(None) is None
-        assert Machine(2).tracer is None
+        # an untraced Machine may still carry a flight recorder on
+        # .tracer, but no *user* tracer is attached
+        assert Machine(2).user_tracer is None
         cp = compile_program(stencil1d_source(32, 1),
                              Options(nprocs=2, mode=Mode.INTER))
         assert cp.run().trace is None

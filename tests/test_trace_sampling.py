@@ -1,0 +1,142 @@
+"""Sampled-tracing tests.
+
+``REPRO_TRACE_SAMPLE=<ranks>[:<events-per-rank>]`` must bound a trace
+without corrupting it: sampling drops *whole* events, so every
+surviving per-rank stream is an ordered subsequence of the unsampled
+stream (clock monotonicity intact), the rank subset is deterministic
+with endpoints kept, the drop count is surfaced, and the Chrome export
+stays valid trace-event JSON.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.apps.stencil import stencil1d_source
+from repro.core.driver import compile_program
+from repro.core.options import Mode, Options
+from repro.obs import Tracer, chrome_trace, resolve_trace
+from repro.obs.tracer import _parse_sample
+
+SRC = stencil1d_source(64, 2)
+OPTS = Options(nprocs=4, mode=Mode.INTER)
+
+
+def _run(tracer):
+    cp = compile_program(SRC, OPTS)
+    cp.run(trace=tracer)
+    return tracer
+
+
+# ---------------------------------------------------------------------------
+# spec parsing and rank selection
+# ---------------------------------------------------------------------------
+
+
+class TestSpec:
+    @pytest.mark.parametrize("spec,expect", [
+        ("4", (4, None)),
+        ("4:100", (4, 100)),
+        ("0", (None, None)),        # 0 = no limit
+        ("2:0", (2, None)),
+        (":", (None, None)),
+        ("x:y", (None, None)),      # garbage degrades to unlimited
+        ("1:1", (1, 1)),
+    ])
+    def test_parse(self, spec, expect):
+        assert _parse_sample(spec) == expect
+
+    def test_rank_subset_is_deterministic_with_endpoints(self):
+        t = Tracer(sample="3")
+        t.ensure_ranks(8)
+        for r in range(8):
+            t.rank_event(r, "net.send", 1.0)
+        recorded = [r for r, evs in enumerate(t.rank_events) if evs]
+        assert recorded[0] == 0 and recorded[-1] == 7  # endpoints kept
+        assert len(recorded) == 3
+        assert t.dropped_events == 5
+
+    def test_single_rank_sample(self):
+        t = Tracer(sample="1")
+        t.ensure_ranks(4)
+        for r in range(4):
+            t.rank_event(r, "net.send", 1.0)
+        assert [bool(evs) for evs in t.rank_events] == \
+            [True, False, False, False]
+
+    def test_event_budget_is_a_prefix(self):
+        t = Tracer(sample="0:5")
+        t.ensure_ranks(2)
+        for i in range(10):
+            t.rank_event(0, "net.send", float(i))
+        assert [e["ts"] for e in t.rank_events[0]] == \
+            [0.0, 1.0, 2.0, 3.0, 4.0]
+        assert t.dropped_events == 5
+
+    def test_no_sampling_below_rank_limit(self):
+        t = Tracer(sample="8")
+        t.ensure_ranks(4)  # fewer ranks than the limit: record all
+        for r in range(4):
+            t.rank_event(r, "net.send", 1.0)
+        assert t.dropped_events == 0
+        assert all(evs for evs in t.rank_events)
+
+
+# ---------------------------------------------------------------------------
+# end-to-end against a real run
+# ---------------------------------------------------------------------------
+
+
+class TestSampledRun:
+    def test_sampled_stream_is_exact_subsequence(self):
+        """Runs are bit-identical traced-vs-sampled, so a surviving
+        rank's sampled stream must equal the full stream (no budget)
+        or its prefix (with a budget) — event for event."""
+        full = _run(Tracer(sample=False))
+        sampled = _run(Tracer(sample="2"))
+        budgeted = _run(Tracer(sample="2:10"))
+        assert sampled.dropped_events > 0
+        kept = [r for r, evs in enumerate(sampled.rank_events) if evs]
+        assert kept == [0, 3]  # endpoints of 4 ranks
+        for r in kept:
+            assert sampled.rank_events[r] == full.rank_events[r]
+            assert budgeted.rank_events[r] == full.rank_events[r][:10]
+        total = sum(len(evs) for evs in full.rank_events)
+        assert sampled.dropped_events == \
+            total - sum(len(evs) for evs in sampled.rank_events)
+
+    def test_per_rank_clocks_stay_monotone(self):
+        tr = _run(Tracer(sample="2:16"))
+        seen = 0
+        for evs in tr.rank_events:
+            last = -1.0
+            for ev in evs:
+                seen += 1
+                assert ev["ts"] >= last
+                last = ev["ts"]
+        assert seen > 0
+
+    def test_chrome_export_valid_and_reports_drops(self):
+        tr = _run(Tracer(sample="1:8"))
+        doc = json.loads(json.dumps(chrome_trace(tr), default=str))
+        assert doc["traceEvents"]
+        for ev in doc["traceEvents"]:
+            assert {"name", "ph", "pid", "tid"} <= set(ev)
+        assert doc["otherData"]["dropped_events"] == tr.dropped_events
+        assert doc["otherData"]["trace_sample"] == "1:8"
+        assert tr.dropped_events > 0
+
+    def test_env_var_enables_sampling(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        monkeypatch.setenv("REPRO_TRACE_SAMPLE", "1:4")
+        tr = resolve_trace(None)
+        assert isinstance(tr, Tracer)
+        _run(tr)
+        assert tr.meta["trace_sample"] == "1:4"
+        for r, evs in enumerate(tr.rank_events):
+            assert len(evs) <= 4
+            if r != 0:
+                assert not evs
+        assert tr.dropped_events > 0
